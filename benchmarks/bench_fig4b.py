@@ -1,0 +1,33 @@
+"""Figure 4b: Goliath-120B generation speeds (XWin-7B / XWin-13B drafts)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.common import node_sweep
+from repro.util.tables import format_series
+
+NODES = (4, 8, 15, 32)
+
+
+def test_fig4b(benchmark, bench_scale):
+    def compute():
+        out = {}
+        iters = node_sweep("goliath+xwin7b", ["iter"], "C", NODES, bench_scale)
+        out["Iter."] = [r.generation_speed for r in iters["iter"]]
+        for key, label in (("goliath+xwin7b", "XWin-7B"), ("goliath+xwin13b", "XWin-13B")):
+            grid = node_sweep(key, ["spec", "pipe"], "C", NODES, bench_scale)
+            out[f"Spec. ({label})"] = [r.generation_speed for r in grid["spec"]]
+            out[f"Pipe. ({label})"] = [r.generation_speed for r in grid["pipe"]]
+        return out
+
+    series = run_once(benchmark, compute)
+    print()
+    print(format_series("nodes", list(NODES), series,
+                        title="Figure 4b — Goliath-120B speeds", unit="tokens/s"))
+
+    # Low alignment (52%): speculative declines with node count while
+    # PipeInfer stays clearly ahead — the paper's resilience claim.
+    spec7 = series["Spec. (XWin-7B)"]
+    assert spec7[-1] < spec7[0]
+    for i, _ in enumerate(NODES[1:], start=1):
+        assert series["Pipe. (XWin-7B)"][i] > spec7[i]
+    # Better-aligned XWin-13B lifts speculation quality.
+    assert series["Pipe. (XWin-13B)"][1] >= series["Pipe. (XWin-7B)"][1] * 0.95

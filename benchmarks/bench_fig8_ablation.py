@@ -1,0 +1,27 @@
+"""Figure 8: ablation studies on 8 nodes of cluster C."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig8 import run
+from repro.util.tables import format_series
+
+
+def test_fig8_ablations(benchmark, bench_scale):
+    results = run_once(benchmark, lambda: run(bench_scale))
+    print()
+    for metric, unit in (("speed", "tokens/s"), ("ttft", "s"), ("itl", "s")):
+        print(format_series("value", [unit], results[metric],
+                            title=f"Figure 8 — {metric}"))
+        print()
+
+    speed = {k: v[0] for k, v in results["speed"].items()}
+    itl = {k: v[0] for k, v in results["itl"].items()}
+    for family in ("Dolphin", "Goliath", "Falcon"):
+        full = speed[f"{family}: PipeInfer"]
+        no_cancel = speed[f"{family}: No cancellation"]
+        no_cont = speed[f"{family}: No cont. spec."]
+        # Both ablations cost speed and raise ITL.
+        assert no_cancel < full
+        assert no_cont < full
+        assert itl[f"{family}: No cancellation"] > itl[f"{family}: PipeInfer"]
+    # The continuous-speculation ablation is *severe* for Dolphin (paper).
+    assert speed["Dolphin: No cont. spec."] < 0.8 * speed["Dolphin: PipeInfer"]

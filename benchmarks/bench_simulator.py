@@ -1,0 +1,89 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+These are classic pytest-benchmark measurements (many rounds) guarding
+the simulator's performance: event throughput, message passing, cache
+ops, and the functional transformer step.
+"""
+
+import numpy as np
+
+from repro.cluster.kernel import Delay, SimKernel
+from repro.cluster.testbed import cluster_c
+from repro.comm.message import Tag
+from repro.comm.mpi_sim import Network
+from repro.comm.payloads import TokenSlot
+from repro.models.range_cache import RangeKVCache
+from repro.models.transformer import TinyTransformer, TransformerConfig
+
+
+def test_kernel_event_throughput(benchmark):
+    def run():
+        k = SimKernel()
+
+        def proc():
+            for _ in range(2000):
+                yield Delay(1e-6)
+
+        k.spawn(proc())
+        k.run()
+        return k.n_events
+
+    events = benchmark(run)
+    assert events >= 2000
+
+
+def test_mpi_message_throughput(benchmark):
+    def run():
+        k = SimKernel()
+        net = Network(k, cluster_c(2))
+
+        def sender():
+            ep = net.endpoint(0)
+            for i in range(500):
+                ep.send(i, 1, Tag.DECODE, nbytes=1000)
+            yield from ()
+
+        def receiver():
+            ep = net.endpoint(1)
+            for _ in range(500):
+                yield from ep.recv(0, Tag.DECODE)
+
+        k.spawn(sender())
+        k.spawn(receiver())
+        k.run()
+        return net.n_sent
+
+    assert benchmark(run) == 500
+
+
+def test_range_cache_ops(benchmark):
+    def run():
+        c = RangeKVCache()
+        c.add_tokens(0, range(700))
+        for i in range(1, 9):
+            c.seq_cp(0, i, 0, 700)
+            c.add_tokens(i, range(700, 704))
+            c.seq_rm(i, 0, 1 << 40)
+        return c.seq_max_pos(0)
+
+    assert benchmark(run) == 699
+
+
+def test_functional_decode_step(benchmark):
+    model = TinyTransformer(
+        TransformerConfig(vocab=128, d_model=32, n_layers=4, n_heads=4,
+                          n_kv_heads=2, d_ff=64, seed=0)
+    )
+    cache = model.new_cache(256)
+    state = {"pos": 0}
+
+    def step():
+        slot = [TokenSlot(7, state["pos"], (0,), True)]
+        state["pos"] += 1
+        if state["pos"] >= 250:  # keep within capacity across rounds
+            cache.seq_rm(0, 0, 1 << 40)
+            state["pos"] = 0
+        return model.decode(slot, cache)
+
+    out = benchmark(step)
+    assert np.isfinite(out[0]).all()

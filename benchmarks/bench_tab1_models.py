@@ -1,0 +1,40 @@
+"""Tables I & III: model-pair catalogs and footprints."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.tables import table_model_files, table_pairs, table_testbeds
+from repro.models.cost import CostModel
+from repro.models.zoo import ALL_PAIRS, CPU_PAIRS, GPU_PAIRS, MODEL_ZOO
+
+
+def test_tab1_tab3_model_pairs(benchmark):
+    def compute():
+        return (
+            table_pairs(CPU_PAIRS, "Table I"),
+            table_pairs(GPU_PAIRS, "Table III"),
+            table_model_files(),
+        )
+
+    t1, t3, files = run_once(benchmark, compute)
+    print()
+    print(t1)
+    print()
+    print(t3)
+    print()
+    print(files)
+
+    assert len(CPU_PAIRS) == 6
+    assert len(GPU_PAIRS) == 7
+    # Every pair's draft is the smaller model and file sizes are ordered.
+    for pair in ALL_PAIRS.values():
+        t = CostModel(pair.target_arch).weights_bytes()
+        d = CostModel(pair.draft_arch).weights_bytes()
+        assert d < t
+
+
+def test_tab2_tab4_testbeds(benchmark):
+    out = run_once(benchmark, table_testbeds)
+    print()
+    print(out)
+    assert "Gigabit Ethernet" in out and "InfiniBand" in out

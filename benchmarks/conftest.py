@@ -1,0 +1,31 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_<id>`` module regenerates one paper artifact: it runs the
+experiment harness at benchmark scale, asserts the paper's qualitative
+shape, prints the series (captured with ``-s``), and registers the
+simulation wall-time with pytest-benchmark.
+
+Scale: benchmarks default to short generations so the whole suite stays
+in CI budgets; set ``REPRO_TOKENS=512 REPRO_REPS=10`` to reproduce the
+paper's full scale.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    return ExperimentScale(
+        n_generate=int(os.environ.get("REPRO_TOKENS", "96")),
+        reps=int(os.environ.get("REPRO_REPS", "1")),
+        prompt_len=int(os.environ.get("REPRO_PROMPT", "128")),
+    )
+
+
+def run_once(benchmark, fn):
+    """Register ``fn``'s single execution with pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: compare the three inference strategies on one model pair.
+
+Runs Dolphin-70B with a TinyLlama draft (the paper's headline pair) on an
+8-node slice of cluster C and prints the paper's four metrics for
+iterative, speculative, and PipeInfer inference.
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    GenerationJob,
+    IterativeEngine,
+    OracleBackend,
+    PipeInferEngine,
+    SpeculativeEngine,
+    cluster_c,
+    get_pair,
+    run_engine,
+)
+from repro.util.tables import format_table
+from repro.workloads.prompts import make_prompt
+
+
+def main() -> None:
+    pair = get_pair("dolphin+tinyllama")
+    cluster = cluster_c(8)
+    prompt = make_prompt("wikitext", length=128, vocab=pair.target_arch.vocab)
+    job = GenerationJob(prompt=prompt, n_generate=256)
+
+    rows = []
+    outputs = {}
+    for engine in (IterativeEngine, SpeculativeEngine, PipeInferEngine):
+        backend = OracleBackend(pair, head_node=cluster.nodes[0])
+        report = run_engine(engine, backend, cluster, job)
+        outputs[engine.name] = report.tokens
+        rows.append([
+            engine.name,
+            f"{report.generation_speed:.2f}",
+            f"{report.ttft:.3f}",
+            f"{report.itl:.3f}",
+            f"{report.acceptance_rate:.1%}" if report.stats.draft_tokens_checked else "-",
+            f"{report.utilization:.1%}",
+        ])
+
+    print(format_table(
+        ["strategy", "tokens/s", "TTFT (s)", "ITL (s)", "acceptance", "utilization"],
+        rows,
+        title=f"{pair.label} on cluster C ({cluster.size} nodes), 256 tokens",
+    ))
+
+    identical = len({tuple(t) for t in outputs.values()}) == 1
+    print(f"\nAll strategies produced identical output: {identical}")
+    speedup = float(rows[2][1]) / float(rows[1][1])
+    print(f"PipeInfer over speculative inference: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments whose setuptools lacks
+the ``wheel`` package required by the PEP 517 editable path
+(``pip install -e . --no-use-pep517`` falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""PipeInfer reproduction: asynchronous pipelined speculation for LLM
+inference across clusters (Butler et al., SC24).
+
+Quickstart::
+
+    from repro import (
+        OracleBackend, PipeInferEngine, GenerationJob, run_engine,
+        get_pair, cluster_c,
+    )
+
+    pair = get_pair("dolphin+tinyllama")
+    cluster = cluster_c(8)
+    backend = OracleBackend(pair, head_node=cluster.nodes[0])
+    report = run_engine(
+        PipeInferEngine, backend, cluster,
+        GenerationJob(prompt=tuple(range(100, 228)), n_generate=256),
+    )
+    print(report.generation_speed, "tokens/s")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure and table.
+"""
+
+from repro.cluster import (
+    Cluster,
+    cluster_a,
+    cluster_b,
+    cluster_c,
+    gpu_testbed,
+    make_testbed,
+)
+from repro.core import PipeInferEngine
+from repro.engines import (
+    EngineConfig,
+    FunctionalBackend,
+    GenerationJob,
+    IterativeEngine,
+    OracleBackend,
+    SingleNodeEngine,
+    SpeculativeEngine,
+    run_engine,
+)
+from repro.metrics import EngineReport
+from repro.models import (
+    CPU_PAIRS,
+    GPU_PAIRS,
+    MODEL_ZOO,
+    ModelPair,
+    TinyTransformer,
+    TransformerConfig,
+    get_model,
+    get_pair,
+)
+from repro.spec import DraftParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "cluster_a",
+    "cluster_b",
+    "cluster_c",
+    "gpu_testbed",
+    "make_testbed",
+    "PipeInferEngine",
+    "EngineConfig",
+    "FunctionalBackend",
+    "GenerationJob",
+    "IterativeEngine",
+    "OracleBackend",
+    "SingleNodeEngine",
+    "SpeculativeEngine",
+    "run_engine",
+    "EngineReport",
+    "CPU_PAIRS",
+    "GPU_PAIRS",
+    "MODEL_ZOO",
+    "ModelPair",
+    "TinyTransformer",
+    "TransformerConfig",
+    "get_model",
+    "get_pair",
+    "DraftParams",
+    "__version__",
+]

@@ -1,0 +1,181 @@
+"""Compute-node hardware models.
+
+Reconstructs the node types of the paper's testbeds (Tables II and IV) from
+their public specifications.  Small-batch LLM inference is memory-bandwidth
+bound (Section II), so the dominant figure per node is *effective memory
+bandwidth*: theoretical channel bandwidth derated by a sustained-traffic
+efficiency, times the number of NUMA sockets with a NUMA scaling factor
+(the paper distributes weights across NUMA nodes to use independent
+channels).  Peak FLOP throughput is retained for the compute-bound branch
+of the roofline used at larger batch sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.units import GB, GiB
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A compute node (CPU host or GPU) in a testbed.
+
+    Attributes:
+        name: human-readable identifier used in reports.
+        mem_bw: theoretical memory bandwidth per socket/device, bytes/s.
+        flops: peak arithmetic throughput per socket/device, FLOP/s.
+        ram: memory capacity in bytes (RAM or VRAM).
+        sockets: number of NUMA sockets (1 for GPUs).
+        bw_efficiency: fraction of theoretical bandwidth sustained on
+            streaming weight reads (STREAM-like derate).
+        numa_efficiency: multiplicative derate applied per extra socket when
+            aggregating bandwidth across NUMA domains.
+        is_gpu: marks accelerator nodes (affects kernel-launch overhead).
+    """
+
+    name: str
+    mem_bw: float
+    flops: float
+    ram: float
+    sockets: int = 1
+    bw_efficiency: float = 0.72
+    numa_efficiency: float = 0.90
+    is_gpu: bool = False
+
+    @property
+    def effective_mem_bw(self) -> float:
+        """Aggregate sustained memory bandwidth across sockets, bytes/s."""
+        if self.sockets == 1:
+            return self.mem_bw * self.bw_efficiency
+        scale = 1.0 + (self.sockets - 1) * self.numa_efficiency
+        return self.mem_bw * self.bw_efficiency * scale
+
+    @property
+    def effective_flops(self) -> float:
+        """Aggregate sustained FLOP/s across sockets."""
+        return self.flops * self.sockets * 0.80
+
+    @property
+    def compute_overhead(self) -> float:
+        """Fixed per-decode dispatch overhead in seconds.
+
+        Each decode call on a node pays graph construction, buffer setup
+        and threadpool synchronization (llama.cpp-style runtimes) — a few
+        milliseconds on CPU hosts; GPUs amortize via captured graphs but
+        still pay kernel-launch and synchronization latency.  This
+        overhead, multiplied by pipeline depth, is what makes running a
+        *small* model across a long pipeline so expensive — the effect
+        PipeInfer exploits by dedicating a node to the draft model.
+        """
+        return 2e-3 if self.is_gpu else 3e-3
+
+
+# ---------------------------------------------------------------------------
+# CPU catalog (Table II).
+# ---------------------------------------------------------------------------
+
+#: 2x Intel Xeon E5-2650 (Sandy Bridge-EP, 8c/2.0GHz), DDR3-1600 x4 channels
+#: per socket = 51.2 GB/s/socket.  Clusters A and part of B.
+XEON_E5_2650 = NodeSpec(
+    name="2x Xeon E5-2650",
+    mem_bw=51.2 * GB,
+    flops=128e9,  # 8 cores x 2.0 GHz x 8 DP FLOP/cycle (AVX)
+    ram=128 * GiB,
+    sockets=2,
+)
+
+#: 2x Intel Xeon Gold 6140 (Skylake-SP, 18c/2.3GHz), DDR4-2666 x6 channels
+#: per socket = 128 GB/s/socket.  Cluster C.
+XEON_GOLD_6140 = NodeSpec(
+    name="2x Xeon Gold 6140",
+    mem_bw=128.0 * GB,
+    flops=1324e9,  # 18 cores x 2.3 GHz x 32 DP FLOP/cycle (AVX-512)
+    ram=384 * GiB,
+    sockets=2,
+)
+
+#: Dell Optiplex, 2nd-gen Core i5 (Sandy Bridge, e.g. i5-2400), dual-channel
+#: DDR3-1333 = 21.3 GB/s.  Cluster B heterogeneous members.
+OPTIPLEX_I5_GEN2 = NodeSpec(
+    name="Optiplex i5 (2nd gen)",
+    mem_bw=21.3 * GB,
+    flops=99e9,  # 4 cores x 3.1 GHz x 8
+    ram=8 * GiB,
+    sockets=1,
+)
+
+#: Dell Optiplex, 4th-gen Core i7 (Haswell, e.g. i7-4770), dual-channel
+#: DDR3-1600 = 25.6 GB/s.  Cluster B heterogeneous members.
+OPTIPLEX_I7_GEN4 = NodeSpec(
+    name="Optiplex i7 (4th gen)",
+    mem_bw=25.6 * GB,
+    flops=218e9,  # 4 cores x 3.4 GHz x 16 (AVX2+FMA)
+    ram=8 * GiB,
+    sockets=1,
+)
+
+#: 2x Intel Xeon E5-2640 v3 (Haswell-EP, 8c/2.6GHz), DDR4-1866 x4 channels
+#: per socket = 59.7 GB/s/socket.  GPU testbed hosts (Table IV).
+XEON_E5_2640_V3 = NodeSpec(
+    name="2x Xeon E5-2640 v3",
+    mem_bw=59.7 * GB,
+    flops=333e9,
+    ram=128 * GiB,
+    sockets=2,
+)
+
+CPU_CATALOG = {
+    "xeon-e5-2650": XEON_E5_2650,
+    "xeon-gold-6140": XEON_GOLD_6140,
+    "optiplex-i5-gen2": OPTIPLEX_I5_GEN2,
+    "optiplex-i7-gen4": OPTIPLEX_I7_GEN4,
+    "xeon-e5-2640v3": XEON_E5_2640_V3,
+}
+
+# ---------------------------------------------------------------------------
+# GPU catalog (Table IV).  Bandwidth figures are the published VRAM specs.
+# ---------------------------------------------------------------------------
+
+AMD_MI60 = NodeSpec(
+    name="AMD Instinct MI60",
+    mem_bw=1024 * GB,
+    flops=29.5e12,  # fp16
+    ram=32 * GiB,
+    bw_efficiency=0.80,
+    is_gpu=True,
+)
+
+NVIDIA_P40 = NodeSpec(
+    name="Nvidia Tesla P40",
+    mem_bw=346 * GB,
+    flops=11.8e12,  # fp32 (no fast fp16 path on GP102)
+    ram=24 * GiB,
+    bw_efficiency=0.78,
+    is_gpu=True,
+)
+
+NVIDIA_TITAN_V = NodeSpec(
+    name="Nvidia Titan V",
+    mem_bw=653 * GB,
+    flops=29.8e12,  # fp16
+    ram=12 * GiB,
+    bw_efficiency=0.80,
+    is_gpu=True,
+)
+
+NVIDIA_RTX_3090 = NodeSpec(
+    name="Nvidia RTX 3090",
+    mem_bw=936 * GB,
+    flops=35.6e12,
+    ram=24 * GiB,
+    bw_efficiency=0.82,
+    is_gpu=True,
+)
+
+GPU_CATALOG = {
+    "mi60": AMD_MI60,
+    "p40": NVIDIA_P40,
+    "titan-v": NVIDIA_TITAN_V,
+    "rtx-3090": NVIDIA_RTX_3090,
+}

@@ -1,0 +1,113 @@
+"""Interconnect link models.
+
+A directed link between two nodes transmits messages with:
+
+``arrival = departure + latency + bytes / bandwidth``
+
+subject to *serialization*: a link carries one bulk message at a time, so
+back-to-back sends queue (this is what creates the interconnect bandwidth
+pressure the paper observes on Gigabit Ethernet).
+
+MPI implementations send small messages *eagerly* — they are buffered at
+the sender and do not wait behind an in-progress rendezvous transfer of a
+large tensor.  PipeInfer's cancellation signals are single-integer messages
+whose usefulness depends on racing ahead of bulk activation traffic, so the
+link model provides an **eager lane**: payloads below ``eager_threshold``
+bypass the bulk serialization queue (paying latency plus their own
+serialization only).  Ordering within one (source, destination, tag) stream
+is still enforced by the MPI layer on top (non-overtaking), matching the
+MPI standard's guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.kernel import SimKernel
+from repro.util.units import Gbps, KiB, us
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static description of an interconnect technology.
+
+    Attributes:
+        name: catalog name used in reports.
+        latency: one-way small-message latency in seconds, including the
+            software (MPI + transport) overhead measured on such fabrics.
+        bandwidth: sustained point-to-point bandwidth, bytes/s.
+        eager_threshold: messages at or below this size (bytes) use the
+            eager lane and skip the bulk serialization queue.
+    """
+
+    name: str
+    latency: float
+    bandwidth: float
+    eager_threshold: float = 32 * KiB
+
+
+#: Gigabit Ethernet with TCP-based MPI: ~60us end-to-end small-message
+#: latency, 125 MB/s line rate.  Clusters A and B.
+GIGABIT_ETHERNET = LinkSpec("Gigabit Ethernet", latency=60 * us, bandwidth=Gbps(1))
+
+#: InfiniBand EDR (100 Gb/s), verbs MPI: ~1.5us latency.  Cluster C.
+INFINIBAND_EDR = LinkSpec("InfiniBand EDR 100Gb/s", latency=1.5 * us, bandwidth=Gbps(100))
+
+#: InfiniBand QDR (40 Gb/s): ~2us latency.  GPU testbed.
+INFINIBAND_QDR = LinkSpec("InfiniBand QDR 40Gb/s", latency=2.0 * us, bandwidth=Gbps(40))
+
+#: Zero-cost link used by single-node execution and unit tests.
+LOOPBACK = LinkSpec("loopback", latency=0.0, bandwidth=float("inf"), eager_threshold=float("inf"))
+
+
+class Link:
+    """A directed transmission channel with bandwidth serialization.
+
+    One ``Link`` instance models the sender-side egress of a node toward one
+    neighbor.  Bulk messages serialize FIFO; eager messages bypass the bulk
+    queue.  Delivery is signalled by invoking a callback at arrival time —
+    the MPI layer uses this to enqueue the message at the receiver.
+    """
+
+    def __init__(self, kernel: SimKernel, spec: LinkSpec) -> None:
+        self._kernel = kernel
+        self.spec = spec
+        #: Simulated time at which the bulk lane becomes free.
+        self._bulk_free_at = 0.0
+        #: Statistics: bytes carried, per lane.
+        self.bulk_bytes = 0.0
+        self.eager_bytes = 0.0
+        self.n_messages = 0
+
+    def transmit(self, nbytes: float, on_delivered, eager_hint: bool = False) -> float:
+        """Schedule delivery of a message of ``nbytes``.
+
+        Args:
+            nbytes: serialized payload size.
+            on_delivered: zero-arg callback invoked at arrival time.
+            eager_hint: force the eager lane regardless of size (used for
+                zero-byte control markers).
+
+        Returns:
+            The simulated arrival time.
+        """
+        now = self._kernel.now
+        self.n_messages += 1
+        wire_time = 0.0 if self.spec.bandwidth == float("inf") else nbytes / self.spec.bandwidth
+        if eager_hint or nbytes <= self.spec.eager_threshold:
+            # Eager lane: latency + own serialization, no queueing behind bulk.
+            arrival = now + self.spec.latency + wire_time
+            self.eager_bytes += nbytes
+        else:
+            # Bulk lane: wait for the lane, then serialize.
+            start = max(now, self._bulk_free_at)
+            self._bulk_free_at = start + wire_time
+            arrival = self._bulk_free_at + self.spec.latency
+            self.bulk_bytes += nbytes
+        self._kernel.call_at(arrival, on_delivered)
+        return arrival
+
+    @property
+    def busy_until(self) -> float:
+        """Time at which the bulk lane next becomes idle."""
+        return self._bulk_free_at

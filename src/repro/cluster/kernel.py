@@ -1,0 +1,224 @@
+"""Process-interaction discrete-event simulation kernel.
+
+Simulated entities (cluster nodes, links) are Python generator coroutines.
+A process advances simulated time by yielding:
+
+- :class:`Delay` — resume this process after a fixed simulated duration
+  (models compute occupancy: evaluating transformer layers, serializing a
+  buffer);
+- :class:`Future` — park until another process resolves the future (models
+  blocking receives, link availability).
+
+The kernel owns a single event heap keyed by ``(time, tiebreak)``.  Time is
+float seconds.  Determinism: ties are broken by a monotonically increasing
+sequence number, so identical programs replay identically — a property the
+output-equivalence tests rely on.
+
+This is deliberately a small, purpose-built kernel rather than a general
+framework: the engines only need delays, futures, and a notion of "now".
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+#: Type of the generator coroutines driven by the kernel.  Processes yield
+#: Delay or Future instances and receive the future's value at resume.
+ProcessGen = Generator[Any, Any, Any]
+
+
+class SimError(RuntimeError):
+    """Raised for kernel misuse (bad yields, double resolution, deadlock)."""
+
+
+class Delay:
+    """Yielded by a process to advance its local time by ``duration`` seconds."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"negative delay: {duration}")
+        self.duration = duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Delay({self.duration!r})"
+
+
+class Future:
+    """A one-shot value container a process can park on.
+
+    A process yields a Future to suspend; another process (or a kernel
+    timer) calls :meth:`resolve` to schedule the waiter's resumption at the
+    current simulated time.  Resolving before anyone waits is fine — the
+    value is stored and a subsequent yield returns immediately.
+    """
+
+    __slots__ = ("_kernel", "resolved", "value", "_waiter", "label")
+
+    def __init__(self, kernel: "SimKernel", label: str = "") -> None:
+        self._kernel = kernel
+        self.resolved = False
+        self.value: Any = None
+        self._waiter: Optional["Process"] = None
+        self.label = label
+
+    def resolve(self, value: Any = None) -> None:
+        """Resolve with ``value``; wakes the waiter (if any) at sim-now."""
+        if self.resolved:
+            raise SimError(f"future {self.label!r} resolved twice")
+        self.resolved = True
+        self.value = value
+        if self._waiter is not None:
+            self._kernel._schedule_resume(self._waiter, value)
+            self._waiter = None
+
+    def _park(self, process: "Process") -> bool:
+        """Attach ``process`` as the waiter.  Returns True if already resolved."""
+        if self.resolved:
+            return True
+        if self._waiter is not None:
+            raise SimError(f"future {self.label!r} already has a waiter")
+        self._waiter = process
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "resolved" if self.resolved else "pending"
+        return f"Future({self.label!r}, {state})"
+
+
+class Process:
+    """A running generator coroutine inside the kernel."""
+
+    __slots__ = ("gen", "name", "alive", "result", "_kernel", "exception")
+
+    def __init__(self, kernel: "SimKernel", gen: ProcessGen, name: str) -> None:
+        self.gen = gen
+        self.name = name
+        self.alive = True
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self._kernel = kernel
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Process({self.name!r}, alive={self.alive})"
+
+
+class SimKernel:
+    """The event loop: an event heap plus process bookkeeping."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.now = 0.0
+        self._processes: list[Process] = []
+        self._n_events = 0
+
+    # -- process management -------------------------------------------------
+
+    def spawn(self, gen: ProcessGen, name: str = "proc") -> Process:
+        """Register a generator as a process and schedule its first step now."""
+        proc = Process(self, gen, name)
+        self._processes.append(proc)
+        self._schedule_resume(proc, None, first=True)
+        return proc
+
+    def future(self, label: str = "") -> Future:
+        """Create a fresh future bound to this kernel."""
+        return Future(self, label)
+
+    def call_at(self, time: float, fn: Callable[[], None]) -> None:
+        """Schedule a plain callback at an absolute simulated time."""
+        if time < self.now:
+            raise SimError(f"cannot schedule in the past ({time} < {self.now})")
+        self._push(time, fn)
+
+    def call_after(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule a plain callback ``delay`` seconds from now."""
+        self.call_at(self.now + delay, fn)
+
+    # -- event loop ----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Drain the event heap.
+
+        Args:
+            until: stop once simulated time would exceed this value.
+            max_events: safety valve against runaway simulations.
+
+        The loop ends when no events remain; parked processes that were
+        never woken are simply abandoned (engines use a completion future to
+        detect success, and tests assert on process liveness).
+        """
+        while self._heap:
+            time, _, fn = heapq.heappop(self._heap)
+            if until is not None and time > until:
+                # Leave the event popped; the simulation horizon was reached.
+                self.now = until
+                return
+            self.now = time
+            self._n_events += 1
+            if max_events is not None and self._n_events > max_events:
+                raise SimError(f"exceeded max_events={max_events}")
+            fn()
+
+    @property
+    def n_events(self) -> int:
+        """Number of events executed so far (profiling / regression aid)."""
+        return self._n_events
+
+    def alive_processes(self) -> list[Process]:
+        """Processes that have not finished (parked or runnable)."""
+        return [p for p in self._processes if p.alive]
+
+    # -- internals -----------------------------------------------------------
+
+    def _push(self, time: float, fn: Callable[[], None]) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, fn))
+
+    def _schedule_resume(self, proc: Process, value: Any, first: bool = False) -> None:
+        self._push(self.now, lambda: self._step(proc, value, first))
+
+    def _step(self, proc: Process, value: Any, first: bool = False) -> None:
+        """Advance ``proc`` one yield, interpreting what it yielded."""
+        if not proc.alive:
+            return
+        try:
+            yielded = proc.gen.send(None if first else value)
+        except StopIteration as stop:
+            proc.alive = False
+            proc.result = stop.value
+            return
+        except BaseException as exc:
+            proc.alive = False
+            proc.exception = exc
+            raise
+        self._dispatch_yield(proc, yielded)
+
+    def _dispatch_yield(self, proc: Process, yielded: Any) -> None:
+        if isinstance(yielded, Delay):
+            self._push(self.now + yielded.duration, lambda: self._step(proc, None))
+        elif isinstance(yielded, Future):
+            if yielded._park(proc):
+                # Already resolved: resume immediately with the stored value.
+                self._schedule_resume(proc, yielded.value)
+        else:
+            proc.alive = False
+            raise SimError(
+                f"process {proc.name!r} yielded {yielded!r}; expected Delay or Future"
+            )
+
+
+def run_to_completion(kernel: SimKernel, procs: Iterable[Process], max_events: int = 50_000_000) -> None:
+    """Run the kernel and assert the given processes all finished.
+
+    Raises:
+        SimError: if any of ``procs`` is still alive when the heap drains —
+            the signature of a deadlock (e.g. a receive no send matches).
+    """
+    kernel.run(max_events=max_events)
+    stuck = [p.name for p in procs if p.alive]
+    if stuck:
+        raise SimError(f"deadlock: processes never completed: {stuck}")

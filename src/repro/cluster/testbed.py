@@ -1,0 +1,96 @@
+"""The paper's testbeds, reconstructed from Tables II and IV.
+
+========= ========= ==================================== =====================
+Cluster   Max nodes Nodes                                Interconnect
+========= ========= ==================================== =====================
+A         8         2x Xeon E5-2650, 128GB DDR3-1600     Gigabit Ethernet
+B         13        5 Optiplexes (2nd/4th-gen i5/i7,     Gigabit Ethernet
+                    8GB DDR3) + 8 Xeon E5-2650 nodes
+C         32        2x Xeon Gold 6140, 384GB DDR4-2666   InfiniBand EDR
+GPU       4         2x Xeon E5-2640v3 hosts w/ MI60,     InfiniBand QDR
+                    P40, Titan V, RTX 3090
+========= ========= ==================================== =====================
+"""
+
+from __future__ import annotations
+
+from repro.cluster.hardware import (
+    AMD_MI60,
+    NVIDIA_P40,
+    NVIDIA_RTX_3090,
+    NVIDIA_TITAN_V,
+    OPTIPLEX_I5_GEN2,
+    OPTIPLEX_I7_GEN4,
+    XEON_E5_2650,
+    XEON_GOLD_6140,
+)
+from repro.cluster.interconnect import (
+    GIGABIT_ETHERNET,
+    INFINIBAND_EDR,
+    INFINIBAND_QDR,
+)
+from repro.cluster.topology import Cluster
+
+
+def cluster_a(n_nodes: int = 8) -> Cluster:
+    """Cluster A: up to 8 dual-socket Xeon E5-2650 nodes on Gigabit Ethernet."""
+    if not 1 <= n_nodes <= 8:
+        raise ValueError("cluster A has at most 8 nodes")
+    return Cluster("A", [XEON_E5_2650] * n_nodes, GIGABIT_ETHERNET)
+
+
+def cluster_b(n_nodes: int = 13) -> Cluster:
+    """Cluster B: 13 heterogeneous nodes on Gigabit Ethernet.
+
+    Eight Xeon E5-2650 nodes followed by five old Dell Optiplexes (three
+    2nd-gen i5, two 4th-gen i7 — the paper says "second- and fourth-
+    generation Intel Core i5 and i7", without exact counts).  Node order
+    puts the fast Xeons first so that small subsets are the homogeneous
+    prefix, matching how the paper grows the heterogeneous pipeline.
+    """
+    if not 1 <= n_nodes <= 13:
+        raise ValueError("cluster B has at most 13 nodes")
+    nodes = [XEON_E5_2650] * 8 + [
+        OPTIPLEX_I7_GEN4,
+        OPTIPLEX_I5_GEN2,
+        OPTIPLEX_I7_GEN4,
+        OPTIPLEX_I5_GEN2,
+        OPTIPLEX_I5_GEN2,
+    ]
+    return Cluster("B", nodes[:n_nodes], GIGABIT_ETHERNET)
+
+
+def cluster_c(n_nodes: int = 32) -> Cluster:
+    """Cluster C: up to 32 dual-socket Xeon Gold 6140 nodes on IB EDR."""
+    if not 1 <= n_nodes <= 32:
+        raise ValueError("cluster C has at most 32 nodes")
+    return Cluster("C", [XEON_GOLD_6140] * n_nodes, INFINIBAND_EDR)
+
+
+def gpu_testbed() -> Cluster:
+    """The 4-node heterogeneous GPU testbed (Table IV) on IB QDR.
+
+    One GPU per node: MI60, P40, Titan V, RTX 3090.  The GPU spec stands in
+    for the node since inference runs out of VRAM bandwidth.
+    """
+    return Cluster(
+        "gpu",
+        [AMD_MI60, NVIDIA_P40, NVIDIA_TITAN_V, NVIDIA_RTX_3090],
+        INFINIBAND_QDR,
+    )
+
+
+def make_testbed(name: str, n_nodes: int | None = None) -> Cluster:
+    """Factory by name: ``"A"``, ``"B"``, ``"C"`` or ``"gpu"``."""
+    key = name.strip().lower()
+    if key == "a":
+        return cluster_a(n_nodes if n_nodes is not None else 8)
+    if key == "b":
+        return cluster_b(n_nodes if n_nodes is not None else 13)
+    if key == "c":
+        return cluster_c(n_nodes if n_nodes is not None else 32)
+    if key == "gpu":
+        if n_nodes not in (None, 4):
+            raise ValueError("GPU testbed is fixed at 4 nodes")
+        return gpu_testbed()
+    raise KeyError(f"unknown testbed {name!r}")

@@ -1,0 +1,74 @@
+"""Cluster topology: a set of nodes plus the links between them.
+
+All of the paper's testbeds are switched fabrics (Ethernet switch or an
+InfiniBand switch), so any node can message any other; contention is
+modeled at the *sender egress* and *receiver ingress* ports, which is where
+switched fabrics actually serialize.  A ``Cluster`` therefore materializes
+one egress :class:`~repro.cluster.interconnect.Link` per ordered node pair,
+lazily.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cluster.hardware import NodeSpec
+from repro.cluster.interconnect import Link, LinkSpec, LOOPBACK
+from repro.cluster.kernel import SimKernel
+
+
+class Cluster:
+    """A simulated cluster: node specs wired by a uniform link spec.
+
+    Attributes:
+        name: testbed name (``"A"``, ``"B"``, ``"C"``, ``"gpu"`` ...).
+        nodes: node specifications, index == rank.
+        link_spec: interconnect used between distinct nodes.
+    """
+
+    def __init__(self, name: str, nodes: Sequence[NodeSpec], link_spec: LinkSpec) -> None:
+        if not nodes:
+            raise ValueError("cluster needs at least one node")
+        self.name = name
+        self.nodes: List[NodeSpec] = list(nodes)
+        self.link_spec = link_spec
+        self._kernel: SimKernel | None = None
+        self._links: Dict[Tuple[int, int], Link] = {}
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    def bind(self, kernel: SimKernel) -> "Cluster":
+        """Attach this topology to a simulation kernel (fresh link state)."""
+        self._kernel = kernel
+        self._links = {}
+        return self
+
+    def link(self, src: int, dst: int) -> Link:
+        """The egress link from rank ``src`` toward rank ``dst``.
+
+        Messages a rank sends to itself use a zero-cost loopback link.
+        """
+        if self._kernel is None:
+            raise RuntimeError("cluster not bound to a kernel; call bind() first")
+        key = (src, dst)
+        found = self._links.get(key)
+        if found is None:
+            spec = LOOPBACK if src == dst else self.link_spec
+            found = Link(self._kernel, spec)
+            self._links[key] = found
+        return found
+
+    def subset(self, n: int) -> "Cluster":
+        """A cluster using only the first ``n`` nodes (paper's node sweeps)."""
+        if not 1 <= n <= self.size:
+            raise ValueError(f"cannot take {n} nodes from cluster of {self.size}")
+        return Cluster(f"{self.name}[{n}]", self.nodes[:n], self.link_spec)
+
+    def total_ram(self) -> float:
+        """Aggregate RAM across nodes, bytes."""
+        return sum(node.ram for node in self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cluster({self.name!r}, n={self.size}, link={self.link_spec.name!r})"

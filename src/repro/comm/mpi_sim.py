@@ -1,0 +1,249 @@
+"""Simulated MPI: buffered sends, blocking receives, probes.
+
+One :class:`Network` exists per simulation; each rank interacts through its
+:class:`Endpoint`.  Semantics implemented (and tested against the MPI 4.1
+standard's wording):
+
+- **Buffered send**: ``send`` returns control to the caller immediately
+  (the reference implementation uses buffered MPI sends so a node can
+  proceed before the receiver is ready).  Transmission timing is delegated
+  to the cluster's egress :class:`~repro.cluster.interconnect.Link`.
+- **Non-overtaking**: messages with the same (src, dst, tag) are received
+  in send order, even when the eager lane would deliver a later small
+  message earlier.  Out-of-order arrivals are stashed until their
+  predecessors arrive.
+- **Probe / Iprobe**: check for a matching available message without
+  consuming it.
+- **Wildcards**: ``ANY_SOURCE`` / ``ANY_TAG`` match the earliest available
+  message.
+
+Blocking calls are generators: engine code runs inside kernel processes and
+uses ``msg = yield from endpoint.recv(...)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Generator, List, Optional, Tuple
+
+from repro.cluster.kernel import SimKernel
+from repro.cluster.topology import Cluster
+from repro.comm.message import ANY_SOURCE, ANY_TAG, Message
+
+
+def _tag_matches(tag_filter, tag: int) -> bool:
+    """True when ``tag`` satisfies a filter: ANY_TAG, an int, or a tuple."""
+    if isinstance(tag_filter, (tuple, frozenset, set, list)):
+        return tag in tag_filter
+    return tag_filter in (ANY_TAG, tag)
+
+
+class _RecvRequest:
+    """A parked receive (or probe) awaiting a matching message."""
+
+    __slots__ = ("source", "tag", "future", "consume")
+
+    def __init__(self, source: int, tag, future, consume: bool) -> None:
+        self.source = source
+        self.tag = tag
+        self.future = future
+        self.consume = consume
+
+    def matches(self, msg: Message) -> bool:
+        return (self.source in (ANY_SOURCE, msg.src)) and _tag_matches(
+            self.tag, msg.tag
+        )
+
+
+class Endpoint:
+    """Per-rank communicator handle."""
+
+    def __init__(self, network: "Network", rank: int) -> None:
+        self._net = network
+        self.rank = rank
+        #: Messages available for receiving, in delivery order.
+        self._available: Deque[Message] = deque()
+        #: Out-of-order stash keyed by (src, tag) -> {seq: msg}.
+        self._stash: Dict[Tuple[int, int], Dict[int, Message]] = {}
+        #: Next expected sequence number per (src, tag).
+        self._expected: Dict[Tuple[int, int], int] = {}
+        #: Parked receives/probes in arrival order of the requests.
+        self._pending: List[_RecvRequest] = []
+        #: Futures resolved on the next delivery of *any* message.
+        self._arrival_watchers: List[Any] = []
+
+    # -- sending -------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self._net.size
+
+    def send(
+        self,
+        payload: Any,
+        dest: int,
+        tag: int,
+        nbytes: float,
+        eager: bool = False,
+    ) -> Message:
+        """Buffered send; returns immediately after local buffering.
+
+        Args:
+            payload: Python object to deliver.
+            dest: destination rank.
+            tag: message tag (non-overtaking is per (src, dest, tag)).
+            nbytes: modeled wire size; drives link serialization time.
+            eager: force the link's eager lane (control signals).
+        """
+        return self._net._transmit(self.rank, dest, tag, payload, nbytes, eager)
+
+    # -- receiving -----------------------------------------------------------
+
+    def recv(
+        self, source: int = ANY_SOURCE, tag=ANY_TAG
+    ) -> Generator[Any, Any, Message]:
+        """Blocking receive (generator).  Use as ``msg = yield from ep.recv()``.
+
+        ``tag`` may be ANY_TAG, a single tag, or a tuple of acceptable tags
+        (the receiver-discipline equivalent of posting several receives).
+        """
+        msg = self._take(source, tag)
+        if msg is not None:
+            return msg
+        fut = self._net.kernel.future(f"recv@{self.rank}")
+        self._pending.append(_RecvRequest(source, tag, fut, consume=True))
+        msg = yield fut
+        return msg
+
+    def probe(
+        self, source: int = ANY_SOURCE, tag=ANY_TAG
+    ) -> Generator[Any, Any, Message]:
+        """Blocking probe: waits for a match, returns it *without* consuming."""
+        msg = self._peek(source, tag)
+        if msg is not None:
+            return msg
+        fut = self._net.kernel.future(f"probe@{self.rank}")
+        self._pending.append(_RecvRequest(source, tag, fut, consume=False))
+        msg = yield fut
+        return msg
+
+    def iprobe(self, source: int = ANY_SOURCE, tag=ANY_TAG) -> bool:
+        """Non-blocking probe: True when a matching message is available."""
+        return self._peek(source, tag) is not None
+
+    def wait_for_arrival(self, max_wait: float) -> Generator[Any, Any, bool]:
+        """Park until any message is delivered to this rank, or ``max_wait``.
+
+        Returns True if a message arrived, False on timeout.  Used by the
+        head node's continuous-speculation loop to idle briefly when the
+        confidence cutoff halts drafting and no logits are waiting.
+        """
+        if self._available:
+            return True
+        kernel = self._net.kernel
+        fut = kernel.future(f"arrival@{self.rank}")
+        self._arrival_watchers.append(fut)
+
+        def timeout() -> None:
+            if not fut.resolved:
+                fut.resolve(False)
+
+        kernel.call_after(max_wait, timeout)
+        result = yield fut
+        return bool(result)
+
+    # -- internals -----------------------------------------------------------
+
+    def _peek(self, source: int, tag) -> Optional[Message]:
+        for msg in self._available:
+            if (source in (ANY_SOURCE, msg.src)) and _tag_matches(tag, msg.tag):
+                return msg
+        return None
+
+    def _take(self, source: int, tag) -> Optional[Message]:
+        for i, msg in enumerate(self._available):
+            if (source in (ANY_SOURCE, msg.src)) and _tag_matches(tag, msg.tag):
+                del self._available[i]
+                return msg
+        return None
+
+    def _deliver(self, msg: Message) -> None:
+        """Called by the network at arrival time: enforce ordering, match."""
+        key = (msg.src, msg.tag)
+        expected = self._expected.get(key, 0)
+        if msg.seq != expected:
+            # Early arrival (eager lane overtook bulk): stash until in order.
+            self._stash.setdefault(key, {})[msg.seq] = msg
+            return
+        self._make_available(msg)
+        # Drain any stashed successors that are now in order.
+        stash = self._stash.get(key)
+        while stash:
+            nxt = self._expected[key]
+            msg2 = stash.pop(nxt, None)
+            if msg2 is None:
+                break
+            self._make_available(msg2)
+
+    def _make_available(self, msg: Message) -> None:
+        key = (msg.src, msg.tag)
+        self._expected[key] = msg.seq + 1
+        msg.delivered_at = self._net.kernel.now
+        # Hand directly to the oldest matching parked request, if any.
+        for i, req in enumerate(self._pending):
+            if req.matches(msg):
+                del self._pending[i]
+                if not req.consume:
+                    self._available.append(msg)
+                req.future.resolve(msg)
+                self._notify_watchers()
+                return
+        self._available.append(msg)
+        self._notify_watchers()
+
+    def _notify_watchers(self) -> None:
+        watchers, self._arrival_watchers = self._arrival_watchers, []
+        for fut in watchers:
+            if not fut.resolved:
+                fut.resolve(True)
+
+
+class Network:
+    """All endpoints plus the cluster links; one per simulation."""
+
+    def __init__(self, kernel: SimKernel, cluster: Cluster) -> None:
+        self.kernel = kernel
+        self.cluster = cluster.bind(kernel)
+        self.size = cluster.size
+        self.endpoints = [Endpoint(self, r) for r in range(self.size)]
+        #: Sender-side sequence counters per (src, dst, tag).
+        self._seq: Dict[Tuple[int, int, int], int] = {}
+        #: Aggregate statistics.
+        self.n_sent = 0
+        self.bytes_sent = 0.0
+
+    def endpoint(self, rank: int) -> Endpoint:
+        return self.endpoints[rank]
+
+    def _transmit(
+        self, src: int, dst: int, tag: int, payload: Any, nbytes: float, eager: bool
+    ) -> Message:
+        if not 0 <= dst < self.size:
+            raise ValueError(f"invalid destination rank {dst}")
+        key = (src, dst, tag)
+        seq = self._seq.get(key, 0)
+        self._seq[key] = seq + 1
+        msg = Message(
+            src=src,
+            dst=dst,
+            tag=tag,
+            payload=payload,
+            nbytes=nbytes,
+            seq=seq,
+            sent_at=self.kernel.now,
+        )
+        self.n_sent += 1
+        self.bytes_sent += nbytes
+        link = self.cluster.link(src, dst)
+        link.transmit(nbytes, lambda: self.endpoints[dst]._deliver(msg), eager_hint=eager)
+        return msg

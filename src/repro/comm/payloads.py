@@ -1,0 +1,135 @@
+"""Typed message payloads exchanged by the inference engines.
+
+Every payload carries an explicit ``nbytes`` — the modeled serialized size
+used for link timing — computed by the sender from the model's cost
+descriptor (activation width, vocabulary size).  The simulation passes the
+Python object through unserialized.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class TokenSlot:
+    """One token position within a decode batch.
+
+    Attributes:
+        token: vocabulary id.
+        pos: absolute position in the generated sequence.
+        seq_ids: KV-cache sequences the token's cell belongs to (tree nodes
+            shared by several branches carry every branch's id; chains carry
+            one).  The first entry is the *primary* sequence used as the
+            attention query's view.
+        want_logits: whether the head needs logits for this slot (all slots
+            in verification batches; the last slot in plain decode).
+    """
+
+    token: int
+    pos: int
+    seq_ids: tuple
+    want_logits: bool = True
+
+    @property
+    def primary_seq(self) -> int:
+        return self.seq_ids[0]
+
+
+@dataclass
+class DecodeMeta:
+    """Run configuration sent down the pipeline before activations.
+
+    Mirrors the paper's "configuration data ... detailing information such
+    as the batch size and the array of sequences per token" (IV-A1).
+    ``oracle_states`` carries the per-slot rolling prefix state in
+    performance mode (O(1) wire size per slot) so the last rank can
+    materialize target logits without the full prefix.
+    """
+
+    run_id: int
+    slots: List[TokenSlot]
+    is_speculative: bool
+    nbytes: float = 64.0
+    oracle_states: Optional[List[int]] = None
+
+    @property
+    def n_tokens(self) -> int:
+        return len(self.slots)
+
+    def positions(self) -> List[int]:
+        return [s.pos for s in self.slots]
+
+
+@dataclass
+class Activations:
+    """Hidden-state tensor forwarded between pipeline stages.
+
+    ``hidden`` is populated only in functional (real-transformer) mode; in
+    performance mode the array is omitted and only ``nbytes`` matters.
+    Cancelled runs forward an empty activation record (``cancelled=True``,
+    tiny ``nbytes``) to preserve message ordering, per Section IV-D2.
+    """
+
+    run_id: int
+    nbytes: float
+    hidden: Optional[Any] = None
+    cancelled: bool = False
+
+
+@dataclass
+class LogitsPayload:
+    """Per-slot output logits returned from the last stage to the head.
+
+    ``logits`` is a list aligned with the ``want_logits`` slots of the
+    run's :class:`DecodeMeta`; entries are dense arrays (functional mode)
+    or :class:`~repro.models.oracle.OracleLogits` (performance mode).
+    ``cancelled`` marks runs flushed by early inference cancellation — the
+    head pops their record without sampling.
+    """
+
+    run_id: int
+    logits: List[Any]
+    nbytes: float
+    cancelled: bool = False
+
+
+class CacheOpKind(enum.IntEnum):
+    """KV-cache maintenance commands (llama.cpp sequence API)."""
+
+    #: Copy cells of ``seq_src`` in [p0, p1) into ``seq_dst``.
+    SEQ_CP = 1
+    #: Remove cells of ``seq`` in [p0, p1).
+    SEQ_RM = 2
+    #: Copy cells of ``seq_src`` in [p0, p1) into *all* sequences
+    #: (acceptance propagation, Section IV-C2).
+    SEQ_BROADCAST = 3
+
+
+@dataclass
+class CacheOp:
+    """A pipelined cache operation command (Section IV-C3)."""
+
+    kind: CacheOpKind
+    seq_src: int
+    seq_dst: int
+    p0: int
+    p1: int
+    nbytes: float = 32.0
+
+
+@dataclass
+class CancelMsg:
+    """Early-inference-cancellation signal: just the run identifier."""
+
+    run_id: int
+    nbytes: float = 16.0
+
+
+@dataclass
+class ShutdownMsg:
+    """End-of-generation control message."""
+
+    nbytes: float = 8.0

@@ -1,0 +1,68 @@
+"""PipeInfer's ordered transaction protocol (paper Fig. 2).
+
+A *transaction* is an atomic pipeline operation: a start message on the
+START tag announcing the transaction type, followed by the operation's
+payload messages on the type's own tag.  Because MPI point-to-point
+messages are non-overtaking per (sender, receiver, tag), and because each
+receiver processes transactions serially — receive start, invoke the
+type's handler, which receives exactly the payloads of that transaction —
+pipeline operations execute in a deterministic order on every node.
+
+Engines use :func:`send_transaction` to emit a whole transaction and
+receive-side handlers that pull their payloads with tag-specific receives.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Generator, Sequence, Tuple
+
+from repro.comm.message import Tag
+from repro.comm.mpi_sim import Endpoint
+
+
+class TransactionType(enum.IntEnum):
+    """Transaction types; values double as the payload tag."""
+
+    DECODE = Tag.DECODE
+    CACHE_OP = Tag.CACHE_OP
+    SHUTDOWN = Tag.CONTROL
+
+
+#: Modeled wire size of a transaction-start message (type id + header).
+START_NBYTES = 16.0
+
+
+def send_transaction(
+    ep: Endpoint,
+    dest: int,
+    ttype: TransactionType,
+    pieces: Sequence[Tuple[Any, float]],
+    eager: bool = False,
+) -> None:
+    """Send a start message followed by the transaction's payload pieces.
+
+    Args:
+        ep: sender endpoint.
+        dest: destination rank.
+        ttype: transaction type; its value is the tag for all pieces.
+        pieces: (payload, nbytes) tuples sent in order on the type's tag.
+        eager: route every piece through the link's eager lane (used for
+            small control transactions so they are not delayed behind bulk
+            activation transfers).
+    """
+    ep.send(ttype, dest, Tag.START, nbytes=START_NBYTES, eager=True)
+    for payload, nbytes in pieces:
+        ep.send(payload, dest, int(ttype), nbytes=nbytes, eager=eager)
+
+
+def recv_start(ep: Endpoint, source: int) -> Generator[Any, Any, TransactionType]:
+    """Receive the next transaction-start message from ``source``."""
+    msg = yield from ep.recv(source, Tag.START)
+    return TransactionType(msg.payload)
+
+
+def recv_piece(ep: Endpoint, source: int, ttype: TransactionType) -> Generator[Any, Any, Any]:
+    """Receive one payload piece of an in-progress transaction."""
+    msg = yield from ep.recv(source, int(ttype))
+    return msg.payload

@@ -1,0 +1,32 @@
+"""PipeInfer: asynchronous pipelined speculation (paper Section IV).
+
+The four components map onto modules:
+
+- **Asynchronous Speculation** — the head node (rank 0) hosts the draft
+  model and no target layers; the target pipeline (ranks 1..N-1) evaluates
+  runs concurrently with drafting (:mod:`repro.core.head`).
+- **Continuous Speculation** — the head drafts micro-batches whenever no
+  logits are waiting, with the reactive confidence-cutoff controller of
+  :mod:`repro.core.continuous`.
+- **Pipelined KV Cache Multibuffering** — per-run sequence partitions
+  allocated FIFO, with dispatch-time cache-copy transactions giving each
+  run its context even before predecessors complete
+  (:mod:`repro.core.multibuffer`).
+- **Early Inference Cancellation** — invalidation/superfluity detection on
+  the run FIFO (:mod:`repro.core.run_state`) and back-propagated cancel
+  signals that let workers skip invalidated speculative work mid-run.
+"""
+
+from repro.core.continuous import CutoffController
+from repro.core.engine import PipeInferEngine
+from repro.core.multibuffer import MultibufferManager
+from repro.core.run_state import RunFIFO, RunKind, RunRecord
+
+__all__ = [
+    "CutoffController",
+    "PipeInferEngine",
+    "MultibufferManager",
+    "RunFIFO",
+    "RunKind",
+    "RunRecord",
+]

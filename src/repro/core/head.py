@@ -1,0 +1,278 @@
+"""The PipeInfer head-node process (paper Section IV).
+
+Rank 0 hosts the draft model and no target layers.  Its loop implements
+continuous asynchronous speculation:
+
+1. if a logits transfer is waiting (probe), run sampling/verification —
+   advance the accepted stream, emit acceptance/release cache ops, detect
+   invalidated and superfluous runs, and back-propagate cancellations;
+2. else, if no live in-flight run will predict the token after the
+   accepted tip, dispatch the canonical (non-speculative) run for the tip
+   — guaranteeing forward progress even with zero speculation accuracy;
+3. else, draft the next speculative micro-batch continuing the chain and
+   dispatch it into the pipeline under a fresh KV sequence partition,
+   with its context copy-ops pipelined ahead of it;
+4. else (cutoff halted drafting / no free partition / lookahead cap),
+   idle briefly waiting for an arrival, decaying the cutoff when the halt
+   came from draft confidence.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.cluster.kernel import Delay
+from repro.comm.message import Tag
+from repro.comm.payloads import Activations, CancelMsg, DecodeMeta, TokenSlot
+from repro.core.continuous import CutoffController
+from repro.core.multibuffer import MultibufferManager
+from repro.core.run_state import RunFIFO, RunKind, RunRecord
+from repro.engines.base import GenerationJob
+from repro.models.sampler import argmax_token
+from repro.spec.verify import verify_chain
+
+#: Head-node CPU cost to sample/verify one logits vector.
+SAMPLE_TIME_PER_LOGIT = 3e-5
+
+#: Wire size of the token-ids-only activation record the head sends.
+TOKEN_ACTIVATION_BYTES_PER_TOKEN = 4.0
+
+
+def pipeinfer_head(engine, job: GenerationJob) -> Generator:
+    """Head process; ``engine`` is the owning :class:`PipeInferEngine`."""
+    be = engine.backend
+    cfg = engine.config
+    ep = engine.ep()
+    metrics = engine.metrics
+    stats = metrics.stats
+    kernel = engine.net.kernel
+
+    ranks = engine.target_ranks()
+    first_target, last_target = ranks[0], ranks[-1]
+
+    accepted: List[int] = list(job.prompt)
+    chain = be.new_chain(job.prompt)
+    fifo = RunFIFO()
+    mb = MultibufferManager(cfg.n_seq_partitions)
+    cutoff = CutoffController(cfg.draft.cutoff, cfg.cutoff_recovery, cfg.cutoff_decay)
+    n_spec_inflight = 0
+    #: position -> drafted token, for acceptance-rate accounting.  A
+    #: drafted token is "checked" when verification fixes its position's
+    #: true token; tokens drafted beyond a divergence are discarded
+    #: unchecked (they were never compared against the target).
+    drafted: dict = {}
+
+    # ---- helpers -----------------------------------------------------------
+
+    def send_run(rec: RunRecord, states) -> None:
+        slots = [
+            TokenSlot(tok, rec.start_pos + i, (rec.seq_id,), want_logits=True)
+            for i, tok in enumerate(rec.tokens)
+        ]
+        meta = DecodeMeta(
+            rec.run_id, slots, rec.is_speculative, oracle_states=states
+        )
+        meta.nbytes = be.meta_nbytes(meta.n_tokens)
+        act = Activations(
+            rec.run_id,
+            nbytes=TOKEN_ACTIVATION_BYTES_PER_TOKEN * len(rec.tokens),
+            hidden=None,
+        )
+        engine.send_decode(first_target, meta, act)
+        rec.dispatched_at = kernel.now
+        fifo.push(rec)
+        stats.dispatched += 1
+
+    def dispatch_canonical() -> None:
+        tip = len(accepted) - 1
+        rec = RunRecord(
+            engine.new_run_id(), RunKind.CANONICAL, [accepted[tip]], tip, 0
+        )
+        states = be.slot_states(chain, tip, 1)
+        send_run(rec, states)
+        stats.canonical += 1
+
+    def cancel(rec: RunRecord, invalid: bool) -> None:
+        """Mark and (for speculative runs) back-propagate a cancel signal."""
+        if invalid:
+            stats.cancelled_invalid += 1
+        else:
+            stats.cancelled_superfluous += 1
+        if (
+            cfg.enable_cancellation
+            and rec.is_speculative
+            and not rec.superfluous
+        ):
+            # The signal enters at the far end of the pipeline and relays
+            # toward earlier stages (IV-D2); workers probe for it between
+            # compute chunks.
+            ep.send(
+                CancelMsg(rec.run_id), last_target, Tag.CANCEL,
+                nbytes=16.0, eager=True,
+            )
+            stats.cancel_signals_sent += 1
+
+    def process_logits(msg) -> Generator:
+        nonlocal n_spec_inflight
+        payload = msg.payload
+        rec = fifo.pop()
+        if rec.run_id != payload.run_id:
+            raise RuntimeError(
+                f"FIFO desync: expected run {rec.run_id}, got {payload.run_id}"
+            )
+        if rec.is_speculative:
+            n_spec_inflight -= 1
+        stats.completed += 1
+
+        def release() -> None:
+            ops = mb.ops_for_release(rec)
+            if ops:
+                engine.send_cache_ops(first_target, ops)
+            mb.on_run_complete(rec)
+
+        if payload.cancelled or rec.cancelled:
+            release()
+            return
+        if rec.superfluous:
+            # Evaluated in full (canonical) or raced the mark (speculative);
+            # its predictions are already known — skip sampling.
+            release()
+            return
+
+        # ---- sampling / verification --------------------------------------
+        t = SAMPLE_TIME_PER_LOGIT * max(len(payload.logits), 1)
+        yield Delay(t)
+        metrics.add_busy(0, t)
+
+        outcome = verify_chain(
+            len(accepted), rec.start_pos, rec.tokens, payload.logits
+        )
+
+        if outcome.new_tokens:
+            old_len = len(accepted)
+            accepted.extend(outcome.new_tokens)
+            # Drafted-token accounting: verification just fixed the true
+            # token at each new position; drafted tokens there were checked.
+            for p in range(old_len, len(accepted)):
+                d = drafted.pop(p, None)
+                if d is not None:
+                    stats.draft_tokens_checked += 1
+                    if d == accepted[p]:
+                        stats.draft_tokens_accepted += 1
+            metrics.record_tokens(kernel.now, len(outcome.new_tokens))
+            cutoff.on_accepted()
+            ops = mb.ops_for_acceptance(rec, len(accepted))
+            if ops:
+                engine.send_cache_ops(first_target, ops)
+        release()
+
+        # ---- chain reconciliation and invalidation -------------------------
+        if not chain.matches_prefix(accepted):
+            # Find the divergence point: first index where the drafted
+            # chain disagrees (pure extensions reconcile without one).
+            div = None
+            limit = min(len(chain.tokens), len(accepted))
+            for i in range(limit):
+                if chain.tokens[i] != accepted[i]:
+                    div = i
+                    break
+            chain.reconcile(accepted)
+            if div is not None:
+                mb.on_chain_reset()
+                for dead in fifo.invalidate_after(div):
+                    cancel(dead, invalid=True)
+                # Tokens drafted beyond the divergence die unchecked.
+                for p in [p for p in drafted if p >= len(accepted)]:
+                    del drafted[p]
+        for stale in fifo.mark_superfluous(accepted):
+            cancel(stale, invalid=False)
+
+    # ---- prefill -------------------------------------------------------------
+    rid = engine.new_run_id()
+    slots = [
+        TokenSlot(t, i, (0,), want_logits=(i == len(job.prompt) - 1))
+        for i, t in enumerate(job.prompt)
+    ]
+    states = be.slot_states(chain, 0, len(job.prompt))
+    meta = DecodeMeta(rid, slots, False, oracle_states=states)
+    meta.nbytes = be.meta_nbytes(meta.n_tokens)
+    engine.send_decode(
+        first_target,
+        meta,
+        Activations(rid, TOKEN_ACTIVATION_BYTES_PER_TOKEN * len(slots), None),
+    )
+    msg = yield from ep.recv(last_target, Tag.LOGITS)
+    first = argmax_token(msg.payload.logits[0])
+    accepted.append(first)
+    chain.append(first)
+    metrics.mark_prefill_end(kernel.now)
+
+    # ---- main loop -------------------------------------------------------------
+    while len(accepted) - len(job.prompt) < job.n_generate:
+        if ep.iprobe(last_target, Tag.LOGITS):
+            msg = yield from ep.recv(last_target, Tag.LOGITS)
+            yield from process_logits(msg)
+            continue
+
+        if not fifo.covers_tip(accepted):
+            dispatch_canonical()
+            continue
+
+        # ---- continuous speculation ---------------------------------------
+        if cfg.enable_continuous:
+            spec_allowed = (
+                mb.can_allocate()
+                and len(chain) - len(accepted) < cfg.lookahead_cap
+            )
+        else:
+            # Figure 8 ablation: asynchronous speculation only — a single
+            # (larger) speculative run at a time, never chained.
+            spec_allowed = mb.can_allocate() and n_spec_inflight == 0
+
+        if spec_allowed:
+            proposed = 0
+            for _ in range(cfg.microbatch_size):
+                t = be.draft_token_time()
+                yield Delay(t)
+                metrics.add_busy(0, t)
+                token, conf = be.propose(chain)
+                if conf < cutoff.current:
+                    break
+                drafted[len(chain)] = token
+                chain.append(token)
+                proposed += 1
+                # Probe between draft passes (a head-side synchronization
+                # point): when logits are waiting, dispatch what we have
+                # and go sample — sampling latency must not grow with the
+                # draft model's size (Section IV-A).
+                if ep.iprobe(last_target, Tag.LOGITS):
+                    break
+            if proposed:
+                seq = mb.allocate()
+                start = len(chain) - proposed
+                ops = mb.ops_for_spec_dispatch(seq, len(accepted), start)
+                engine.send_cache_ops(first_target, ops)
+                rec = RunRecord(
+                    engine.new_run_id(),
+                    RunKind.SPECULATIVE,
+                    chain.tokens[start:],
+                    start,
+                    seq,
+                )
+                states = be.slot_states(chain, start, proposed)
+                send_run(rec, states)
+                mb.on_spec_dispatch(seq)
+                n_spec_inflight += 1
+                stats.speculative += 1
+                stats.draft_tokens_proposed += proposed
+                cutoff.on_dispatched()
+                continue
+            # Draft confidence halted speculation with nothing waiting.
+            cutoff.on_failed_idle()
+            yield from ep.wait_for_arrival(cfg.idle_poll)
+            continue
+
+        # Partitions exhausted or lookahead cap: wait for the pipeline.
+        yield from ep.wait_for_arrival(cfg.idle_poll)
+
+    engine.finish(job, accepted)

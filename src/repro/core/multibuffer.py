@@ -1,0 +1,134 @@
+"""Pipelined KV-cache multibuffering (paper Section IV-C).
+
+Every simultaneous run works in a private *sequence partition* of the KV
+cache, allocated from a FIFO pool; the canonical sequence 0 holds the
+accepted truth.  Partitions behave like back buffers: a speculative run
+writes its drafted tokens' cells into its own sequence, and on acceptance
+the cells are "swapped" into the canonical sequence by a metadata copy.
+
+Cache commands are *pipelined as transactions* (IV-C3): a run's dispatch
+is preceded by copy commands that materialize its context — the accepted
+prefix from sequence 0 plus the still-unverified chain prefix from the
+most recent speculative partition — at each node immediately after that
+node finishes the predecessor runs.  This is what lets a run skip
+recomputing tokens shared with previous runs *before those runs have
+completed*.
+
+This module owns the bookkeeping and emits the operations; the head node
+sends them down the pipeline and the workers apply them in transaction
+order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.comm.payloads import CacheOp, CacheOpKind
+from repro.core.run_state import RunRecord
+from repro.util.fifo import SequencePool
+
+#: Open end bound for whole-sequence removals.
+SEQ_END = 1 << 40
+
+
+class MultibufferManager:
+    """Sequence-partition allocation and cache-op construction."""
+
+    def __init__(self, n_partitions: int) -> None:
+        self.pool = SequencePool(n_partitions)
+        #: Partition holding the newest unverified chain cells (0 = none:
+        #: the chain is fully accepted / was just reset).
+        self.chain_seq: int = 0
+
+    # -- allocation ---------------------------------------------------------
+
+    def can_allocate(self) -> bool:
+        return self.pool.available()
+
+    def allocate(self) -> int:
+        return self.pool.allocate()
+
+    # -- op builders ------------------------------------------------------------
+
+    def ops_for_spec_dispatch(
+        self, seq: int, accepted_len: int, start_pos: int
+    ) -> List[CacheOp]:
+        """Copy a new run's full context into its fresh partition.
+
+        Ordering: these ops are sent *before* the run's decode transaction,
+        so each node applies them after evaluating the predecessor runs
+        (which wrote the copied cells) and before evaluating this run —
+        the pipelined coherence of Section IV-C3.
+
+        Source selection: positions below the accepted tip are guaranteed
+        to sit in the canonical sequence (acceptance propagation copies a
+        completed run's inputs there).  The tip's cell and the unverified
+        chain prefix live in the newest speculative partition when one is
+        in flight (``chain_seq``); otherwise the canonical run earlier in
+        the pipeline writes the tip cell into sequence 0 before these ops
+        execute.
+        """
+        if self.chain_seq != 0:
+            ops = [CacheOp(CacheOpKind.SEQ_CP, 0, seq, 0, max(accepted_len - 1, 0))]
+            ops.append(
+                CacheOp(
+                    CacheOpKind.SEQ_CP, self.chain_seq, seq,
+                    max(accepted_len - 1, 0), start_pos,
+                )
+            )
+            return ops
+        if start_pos > accepted_len:
+            raise RuntimeError(
+                "unverified chain prefix exists but no partition holds it"
+            )
+        return [CacheOp(CacheOpKind.SEQ_CP, 0, seq, 0, accepted_len)]
+
+    def ops_for_acceptance(
+        self, rec: RunRecord, accepted_len_after: int
+    ) -> List[CacheOp]:
+        """Swap a completed run's accepted cells into the canonical sequence.
+
+        Only entries up to the final accepted input position are copied
+        (IV-C2).  The *newest* accepted token (position
+        ``accepted_len_after - 1``) is excluded: on full acceptance it is
+        the bonus token, which was sampled rather than evaluated and has
+        no cell; on divergence it is the correction, and the run's cell at
+        that position holds the *rejected* draft token — copying it would
+        poison the canonical sequence.
+        """
+        if rec.seq_id == 0:
+            return []  # canonical runs already write into sequence 0
+        hi = min(rec.end_pos + 1, accepted_len_after - 1)
+        if hi <= rec.start_pos:
+            return []
+        return [CacheOp(CacheOpKind.SEQ_CP, rec.seq_id, 0, rec.start_pos, hi)]
+
+    def ops_for_release(self, rec: RunRecord) -> List[CacheOp]:
+        """Drop a completed run's partition (back-buffer free).
+
+        Accepted cells survive: they were copied into sequence 0 (and into
+        successor partitions at their dispatch); removing this sequence id
+        only frees cells no other sequence references — the rejected
+        suffix.
+        """
+        if rec.seq_id == 0:
+            return []
+        return [CacheOp(CacheOpKind.SEQ_RM, rec.seq_id, rec.seq_id, 0, SEQ_END)]
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def on_run_complete(self, rec: RunRecord) -> None:
+        """Release the partition and fix the chain pointer."""
+        if rec.seq_id != 0:
+            self.pool.release(rec.seq_id)
+            if self.chain_seq == rec.seq_id:
+                # The newest chain cells just left flight; anything beyond
+                # the accepted stream was reconciled by the head.
+                self.chain_seq = 0
+
+    def on_chain_reset(self) -> None:
+        """The drafted chain diverged; context now lives in sequence 0 only."""
+        self.chain_seq = 0
+
+    def on_spec_dispatch(self, seq: int) -> None:
+        self.chain_seq = seq

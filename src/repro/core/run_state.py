@@ -1,0 +1,183 @@
+"""In-flight run tracking (paper Sections IV-A1 and IV-D1).
+
+Each pipeline run is tracked in a :class:`RunRecord` holding its tokens
+and position range, placed in a FIFO when dispatched and popped when its
+logits arrive — MPI non-overtaking guarantees completion order matches
+dispatch order, so the FIFO head always identifies the arriving run.
+
+Invalidation detection implements the paper's two methods:
+
+- a run whose maximum end position is behind the accepted tip is
+  **superfluous** (all its predictions are already known);
+- a run whose tokens disagree with the accepted stream at any position —
+  or whose *context* builds on a drafted prefix that diverged — is
+  **invalidated** (its logits are conditioned on rejected tokens).
+
+The paper detects the second case by comparing each run's token sequence
+against the accepted tokens after every sampling phase.  Because runs
+partition the drafted chain contiguously, a divergence at position *d*
+invalidates exactly the runs starting after *d*; :meth:`RunFIFO.invalidate_after`
+uses that equivalent rule (and additionally catches context divergence
+before the tip reaches the run, which pure token comparison would observe
+only later).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from repro.util.fifo import FifoQueue
+
+
+class RunKind(enum.Enum):
+    """Run flavours: the canonical single-token run vs. speculation."""
+
+    CANONICAL = "canonical"
+    SPECULATIVE = "speculative"
+
+
+@dataclass
+class RunRecord:
+    """Tracking data for one in-flight pipeline run.
+
+    Attributes:
+        run_id: unique identifier (matches cancel signals and logits).
+        kind: canonical or speculative.
+        tokens: the run's input tokens.
+        start_pos: absolute position of ``tokens[0]``.
+        seq_id: the KV sequence partition (0 for canonical runs).
+        cancelled: set when invalidated; the run's logits are discarded.
+        superfluous: set when all its predictions are already known; the
+            run still evaluates fully (canonical) but sampling is skipped.
+        dispatched_at: simulated dispatch timestamp (diagnostics).
+    """
+
+    run_id: int
+    kind: RunKind
+    tokens: List[int]
+    start_pos: int
+    seq_id: int
+    cancelled: bool = False
+    superfluous: bool = False
+    dispatched_at: float = 0.0
+
+    @property
+    def n_tokens(self) -> int:
+        return len(self.tokens)
+
+    @property
+    def end_pos(self) -> int:
+        """Position of the run's last input token."""
+        return self.start_pos + len(self.tokens) - 1
+
+    def covers(self, pos: int) -> bool:
+        return self.start_pos <= pos <= self.end_pos
+
+    def token_at(self, pos: int) -> int:
+        if not self.covers(pos):
+            raise IndexError(f"run does not cover position {pos}")
+        return self.tokens[pos - self.start_pos]
+
+    @property
+    def is_speculative(self) -> bool:
+        return self.kind is RunKind.SPECULATIVE
+
+
+class RunFIFO:
+    """FIFO of in-flight runs with invalidation scans."""
+
+    def __init__(self) -> None:
+        self._q: FifoQueue[RunRecord] = FifoQueue()
+
+    def push(self, rec: RunRecord) -> None:
+        self._q.push(rec)
+
+    def pop(self) -> RunRecord:
+        return self._q.pop()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self._q)
+
+    def live(self) -> List[RunRecord]:
+        """Runs neither cancelled nor superfluous."""
+        return [r for r in self._q if not r.cancelled and not r.superfluous]
+
+    def covers_tip(self, accepted: Sequence[int]) -> bool:
+        """Is some live run going to predict the token after the tip?
+
+        True when a live run's input range includes the tip position with
+        the accepted token — its logits at the tip will extend the stream.
+        """
+        tip = len(accepted) - 1
+        for rec in self.live():
+            if rec.covers(tip) and rec.token_at(tip) == accepted[tip]:
+                return True
+        return False
+
+    def invalidate_after(self, divergence_pos: int) -> List[RunRecord]:
+        """Mark speculative runs built on a diverged chain as invalid.
+
+        Args:
+            divergence_pos: first position where the accepted stream
+                disagrees with the previously drafted chain.  Every token
+                the chain held at or beyond this position is dead, so any
+                speculative run starting at or after it — its first input
+                is a dead token, or its context contains one — is invalid.
+                (In-flight runs always start at or beyond the divergence:
+                the run whose verification *revealed* the divergence has
+                already been popped, and chained runs partition positions
+                contiguously after it.)
+
+        Returns:
+            The newly invalidated records (for cancel-signal emission).
+        """
+        hit = []
+        for rec in self._q:
+            if rec.cancelled or not rec.is_speculative:
+                continue
+            if rec.start_pos >= divergence_pos:
+                rec.cancelled = True
+                hit.append(rec)
+        return hit
+
+    def mark_superfluous(self, accepted: Sequence[int]) -> List[RunRecord]:
+        """Mark runs entirely behind the accepted tip (paper IV-D1).
+
+        Only canonical runs can reach this state under chained speculation
+        (speculative runs cover positions past the tip by construction),
+        but the scan checks every record, matching the paper's method.
+        """
+        tip = len(accepted) - 1
+        hit = []
+        for rec in self._q:
+            if rec.cancelled or rec.superfluous:
+                continue
+            if rec.end_pos < tip:
+                rec.superfluous = True
+                hit.append(rec)
+        return hit
+
+    def find_token_mismatches(self, accepted: Sequence[int]) -> List[RunRecord]:
+        """The paper's literal detection: token-wise comparison vs accepted.
+
+        Exposed for tests demonstrating equivalence with
+        :meth:`invalidate_after`; the engine uses the divergence-based rule
+        which additionally catches stale context early.
+        """
+        tip = len(accepted) - 1
+        hit = []
+        for rec in self._q:
+            if rec.cancelled:
+                continue
+            lo = rec.start_pos
+            hi = min(rec.end_pos, tip)
+            for pos in range(lo, hi + 1):
+                if rec.token_at(pos) != accepted[pos]:
+                    hit.append(rec)
+                    break
+        return hit

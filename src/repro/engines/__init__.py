@@ -1,0 +1,31 @@
+"""Inference engines: the paper's baselines.
+
+- :mod:`repro.engines.single_node` — normal single-node inference;
+- :mod:`repro.engines.iterative` — pipeline-parallel iterative inference;
+- :mod:`repro.engines.speculative` — pipeline-parallel speculative
+  inference (SpecInfer-style, synchronous speculate-then-verify);
+
+plus the shared machinery they and :mod:`repro.core` (PipeInfer) build on:
+backends (:mod:`repro.engines.backend`), the pipeline worker process
+(:mod:`repro.engines.worker`), and run configuration/result types
+(:mod:`repro.engines.base`).
+"""
+
+from repro.engines.backend import Backend, ChainState, FunctionalBackend, OracleBackend
+from repro.engines.base import EngineConfig, GenerationJob, run_engine
+from repro.engines.iterative import IterativeEngine
+from repro.engines.single_node import SingleNodeEngine
+from repro.engines.speculative import SpeculativeEngine
+
+__all__ = [
+    "Backend",
+    "ChainState",
+    "FunctionalBackend",
+    "OracleBackend",
+    "EngineConfig",
+    "GenerationJob",
+    "run_engine",
+    "IterativeEngine",
+    "SingleNodeEngine",
+    "SpeculativeEngine",
+]

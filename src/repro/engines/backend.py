@@ -1,0 +1,524 @@
+"""Execution backends: one engine codebase, two fidelity levels.
+
+A :class:`Backend` supplies everything model-specific the engines need:
+draft proposals (with confidences), per-stage compute (real math or
+metadata-only), logits materialization at the last rank, timing, message
+sizes, and memory footprints.
+
+- :class:`FunctionalBackend` wraps two :class:`TinyTransformer` instances
+  (target, draft) with near-zero fixed timings.  Used to prove output
+  equivalence and KV-multibuffering correctness with real attention.
+- :class:`OracleBackend` wraps an alignment-calibrated oracle pair plus
+  the analytic :class:`~repro.models.cost.CostModel` of a Table I/III
+  model pair on real testbed node specs.  Used for every timing figure.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.hardware import NodeSpec
+from repro.comm.payloads import Activations, CacheOp, CacheOpKind, DecodeMeta, TokenSlot
+from repro.models.cost import CostModel
+from repro.models.kv_cache import KVCache
+from repro.models.oracle import DraftOracle, OracleLM, OracleLogits, make_aligned_pair
+from repro.models.range_cache import RangeKVCache
+from repro.models.sampler import LogitsLike, softmax_probs
+from repro.models.transformer import TinyTransformer
+from repro.models.zoo import ModelPair
+
+#: Modeled wire size of a cancelled/empty activation record.
+EMPTY_ACTIVATION_NBYTES = 16.0
+
+#: End bound for "remove the whole sequence" cache ops.
+SEQ_END = 1 << 40
+
+
+class ChainState:
+    """The head node's working token chain: accepted prefix + drafted suffix.
+
+    Tracks the oracle rolling state per position in performance mode so
+    draft proposals and per-slot logits states are O(1); functional mode
+    recomputes from the raw token list instead.
+    """
+
+    def __init__(self, tokens: Sequence[int], oracle: Optional[OracleLM] = None) -> None:
+        self.tokens: List[int] = list(tokens)
+        self._oracle = oracle
+        self._states: Optional[List[int]] = None
+        if oracle is not None:
+            states = [oracle.init_state(())]
+            for t in self.tokens:
+                states.append(oracle.advance(states[-1], t))
+            self._states = states
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def append(self, token: int) -> None:
+        self.tokens.append(token)
+        if self._states is not None:
+            assert self._oracle is not None
+            self._states.append(self._oracle.advance(self._states[-1], token))
+
+    def state_after(self, n_tokens: int) -> int:
+        """Oracle rolling state after the first ``n_tokens`` of the chain."""
+        if self._states is None:
+            raise RuntimeError("chain has no oracle states (functional mode)")
+        return self._states[n_tokens]
+
+    def reconcile(self, truth: Sequence[int]) -> None:
+        """Reset the chain to ``truth``, keeping the common-prefix states.
+
+        Called when verification diverges from the drafted suffix: the
+        drafted tokens beyond the accepted stream are discarded.
+        """
+        common = 0
+        limit = min(len(self.tokens), len(truth))
+        while common < limit and self.tokens[common] == truth[common]:
+            common += 1
+        self.tokens = self.tokens[:common]
+        if self._states is not None:
+            self._states = self._states[: common + 1]
+        for t in truth[common:]:
+            self.append(t)
+
+    def matches_prefix(self, truth: Sequence[int]) -> bool:
+        """True when the chain starts with ``truth`` (no divergence)."""
+        if len(self.tokens) < len(truth):
+            return False
+        return all(self.tokens[i] == truth[i] for i in range(len(truth)))
+
+
+@dataclass
+class WorkerState:
+    """Per-rank execution state: the KV shard and layer assignment."""
+
+    rank: int
+    layer_range: Tuple[int, int]
+    cache: Any  # KVCache (functional) or RangeKVCache (performance)
+    is_first_stage: bool
+    is_last_stage: bool
+
+
+def apply_cache_op(cache: Any, op: CacheOp) -> None:
+    """Apply a pipelined cache command to a node's KV shard.
+
+    Works on both cache implementations (duck-typed sequence API).
+    """
+    if op.kind == CacheOpKind.SEQ_CP:
+        cache.seq_cp(op.seq_src, op.seq_dst, op.p0, op.p1)
+    elif op.kind == CacheOpKind.SEQ_RM:
+        cache.seq_rm(op.seq_src, op.p0, op.p1)
+    elif op.kind == CacheOpKind.SEQ_BROADCAST:
+        targets = getattr(cache, "known_seqs", None)
+        # Broadcast targets every sequence id the shard has seen; the
+        # engines use explicit CP ops, broadcast exists for API parity.
+        raise NotImplementedError("engines issue explicit SEQ_CP operations")
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown cache op {op.kind}")
+
+
+class Backend(ABC):
+    """Model-specific behaviour consumed by the engines."""
+
+    vocab: int
+    n_target_layers: int
+
+    # -- head side: chain and drafting ---------------------------------------
+
+    @abstractmethod
+    def new_chain(self, tokens: Sequence[int]) -> ChainState:
+        """A chain state initialized with ``tokens`` (the prompt)."""
+
+    @abstractmethod
+    def propose(self, chain: ChainState) -> Tuple[int, float]:
+        """The draft model's greedy continuation of the chain: (token, conf)."""
+
+    @abstractmethod
+    def propose_alternatives(
+        self, prefix: Sequence[int], n: int
+    ) -> List[Tuple[int, float]]:
+        """Top-``n`` draft proposals for an arbitrary prefix (tree drafting)."""
+
+    @abstractmethod
+    def draft_token_time(self) -> float:
+        """Cost of one draft-model forward pass on the head node.
+
+        Used by PipeInfer, whose dedicated speculation node hosts the
+        whole draft model locally (Section II-C).
+        """
+
+    def draft_pipeline_token_time(self, nodes, link_latency: float) -> float:
+        """Cost of one draft-model pass distributed across the pipeline.
+
+        The speculative baseline (llama.cpp-style MPI) splits *both*
+        models across the ranks, so each autoregressive draft token pays
+        every node's per-decode overhead plus a link hop — the expense
+        that motivates PipeInfer's dedicated speculation node.  Functional
+        backends keep the local cost.
+        """
+        return self.draft_token_time()
+
+    # -- worker side: compute -------------------------------------------------
+
+    @abstractmethod
+    def make_worker_state(
+        self, rank: int, layer_range: Tuple[int, int], first: bool, last: bool
+    ) -> WorkerState:
+        """Per-rank state (KV shard) for a pipeline stage."""
+
+    @abstractmethod
+    def compute_stage(
+        self, ws: WorkerState, meta: DecodeMeta, hidden_in: Optional[np.ndarray]
+    ) -> Optional[np.ndarray]:
+        """Evaluate the stage's layers for a batch (after timing delays).
+
+        Allocates the batch's KV cells on this shard and returns the
+        outgoing hidden states (None in performance mode).  First stages
+        embed from ``meta.slots`` when ``hidden_in`` is None.
+        """
+
+    @abstractmethod
+    def finalize_logits(
+        self, ws: WorkerState, meta: DecodeMeta, hidden: Optional[np.ndarray]
+    ) -> List[LogitsLike]:
+        """Materialize logits for the ``want_logits`` slots at the last rank."""
+
+    # -- timing -----------------------------------------------------------------
+
+    @abstractmethod
+    def stage_chunks(
+        self, node: NodeSpec, layer_range: Tuple[int, int], n_tokens: int
+    ) -> List[float]:
+        """Per-chunk compute delays for a stage.
+
+        Chunk boundaries are the worker's cancellation probe points
+        ("thread synchronization points", Section IV-D2).
+        """
+
+    @abstractmethod
+    def logits_time(self, node: NodeSpec, n_logits: int) -> float:
+        """Output-head evaluation time at the last rank."""
+
+    @abstractmethod
+    def prefill_chunks(self, node: NodeSpec, layer_range: Tuple[int, int], n_tokens: int) -> List[float]:
+        """Compute delays for prompt prefill (larger batch)."""
+
+    # -- message sizes ------------------------------------------------------------
+
+    @abstractmethod
+    def activation_nbytes(self, n_tokens: int) -> float: ...
+
+    @abstractmethod
+    def logits_nbytes(self, n_logits: int) -> float: ...
+
+    def meta_nbytes(self, n_tokens: int) -> float:
+        """Wire size of a decode-meta record."""
+        return 32.0 + 24.0 * n_tokens
+
+    # -- memory -------------------------------------------------------------------
+
+    @abstractmethod
+    def node_memory(
+        self,
+        layer_range: Optional[Tuple[int, int]],
+        hosts_draft: bool,
+        n_cells: int,
+        first: bool = False,
+        last: bool = False,
+    ) -> float:
+        """Modeled resident bytes for a node with the given roles."""
+
+    # -- oracle plumbing -------------------------------------------------------------
+
+    def slot_states(self, chain: ChainState, start_index: int, n: int) -> Optional[List[int]]:
+        """Per-slot oracle states for slots chain[start_index : start_index+n].
+
+        Entry *i* is the rolling state *after* that slot's token — exactly
+        what the last rank needs to produce the slot's logits.  Functional
+        backends return None.
+        """
+        return None
+
+    def slot_states_for_prefixes(
+        self, prefixes: Sequence[Sequence[int]]
+    ) -> Optional[List[int]]:
+        """Oracle states for arbitrary per-slot prefixes (tree batches).
+
+        Each prefix must *include* its slot's token; the returned state is
+        the rolling state after the full prefix.  Functional backends
+        return None.
+        """
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Functional backend: real tiny transformers.
+# ---------------------------------------------------------------------------
+
+
+class FunctionalBackend(Backend):
+    """Real-math backend over :class:`TinyTransformer` target/draft models.
+
+    Timing constants are fixed and small: the functional level validates
+    *what* is computed, not how long it takes.
+    """
+
+    LAYER_TIME = 2e-4
+    DRAFT_TIME = 1e-4
+    LOGITS_TIME = 1e-4
+
+    def __init__(
+        self,
+        target: TinyTransformer,
+        draft: TinyTransformer,
+        n_cells: int = 512,
+    ) -> None:
+        if target.cfg.vocab != draft.cfg.vocab:
+            raise ValueError("target and draft must share a vocabulary")
+        self.target = target
+        self.draft = draft
+        self.vocab = target.cfg.vocab
+        self.n_target_layers = target.cfg.n_layers
+        self.n_cells = n_cells
+
+    # -- drafting ----------------------------------------------------------------
+
+    def new_chain(self, tokens: Sequence[int]) -> ChainState:
+        return ChainState(tokens, oracle=None)
+
+    def _draft_logits(self, prefix: Sequence[int]) -> np.ndarray:
+        """Full (uncached) draft forward; prefix lengths stay small in tests."""
+        slots = [
+            TokenSlot(token=t, pos=i, seq_ids=(0,), want_logits=(i == len(prefix) - 1))
+            for i, t in enumerate(prefix)
+        ]
+        cache = self.draft.new_cache(len(prefix))
+        return self.draft.decode(slots, cache)[0]
+
+    def propose(self, chain: ChainState) -> Tuple[int, float]:
+        logits = self._draft_logits(chain.tokens)
+        probs = softmax_probs(logits)
+        token = int(np.argmax(probs))
+        return token, float(probs[token])
+
+    def propose_alternatives(self, prefix: Sequence[int], n: int) -> List[Tuple[int, float]]:
+        logits = self._draft_logits(prefix)
+        probs = softmax_probs(logits)
+        order = np.argsort(-probs)[:n]
+        return [(int(t), float(probs[t])) for t in order]
+
+    def draft_token_time(self) -> float:
+        return self.DRAFT_TIME
+
+    # -- worker compute -------------------------------------------------------------
+
+    def make_worker_state(self, rank, layer_range, first, last) -> WorkerState:
+        lo, hi = layer_range
+        cache = self.target.new_cache(self.n_cells, layer_range)
+        return WorkerState(rank, layer_range, cache, first, last)
+
+    def compute_stage(self, ws, meta, hidden_in):
+        cache: KVCache = ws.cache
+        hidden = self.target.embed(meta.slots) if hidden_in is None else hidden_in
+        cells = cache.allocate([(s.pos, set(s.seq_ids)) for s in meta.slots])
+        return self.target.forward_stage(
+            hidden, meta.slots, cache, ws.layer_range, cells=cells
+        )
+
+    def finalize_logits(self, ws, meta, hidden):
+        want = [i for i, s in enumerate(meta.slots) if s.want_logits]
+        out = self.target.output(hidden, want)
+        return [out[i] for i in range(len(want))]
+
+    # -- timing ---------------------------------------------------------------------
+
+    def stage_chunks(self, node, layer_range, n_tokens):
+        lo, hi = layer_range
+        return [(hi - lo) * self.LAYER_TIME]
+
+    def prefill_chunks(self, node, layer_range, n_tokens):
+        return self.stage_chunks(node, layer_range, n_tokens)
+
+    def logits_time(self, node, n_logits):
+        return self.LOGITS_TIME
+
+    # -- sizes / memory -----------------------------------------------------------------
+
+    def activation_nbytes(self, n_tokens: int) -> float:
+        return n_tokens * self.target.cfg.d_model * 4.0
+
+    def logits_nbytes(self, n_logits: int) -> float:
+        return n_logits * self.vocab * 4.0
+
+    def node_memory(self, layer_range, hosts_draft, n_cells, first=False, last=False) -> float:
+        cfg = self.target.cfg
+        per_layer = 4.0 * (2 * cfg.d_model * cfg.d_model + 3 * cfg.d_model * cfg.d_ff)
+        total = 0.0
+        if layer_range is not None:
+            total += (layer_range[1] - layer_range[0]) * per_layer
+        if hosts_draft:
+            dcfg = self.draft.cfg
+            total += dcfg.n_layers * 4.0 * (
+                2 * dcfg.d_model * dcfg.d_model + 3 * dcfg.d_model * dcfg.d_ff
+            )
+        return total + n_cells * cfg.kv_dim * 8.0
+
+
+# ---------------------------------------------------------------------------
+# Oracle backend: calibrated pairs + analytic costs.
+# ---------------------------------------------------------------------------
+
+
+class OracleBackend(Backend):
+    """Performance backend: oracle logits, analytic per-layer timing."""
+
+    def __init__(
+        self,
+        pair: ModelPair,
+        head_node: NodeSpec,
+        seed: int = 0,
+        context: int = 640,
+        probe_chunk_layers: int = 4,
+        acceptance_override: Optional[float] = None,
+        base_cutoff: float = 0.30,
+    ) -> None:
+        self.pair = pair
+        self.target_cost = CostModel(pair.target_arch, context=context)
+        self.draft_cost = CostModel(pair.draft_arch, context=context)
+        self.vocab = pair.target_arch.vocab
+        self.n_target_layers = pair.target_arch.n_layers
+        self.head_node = head_node
+        self.probe_chunk_layers = probe_chunk_layers
+        acceptance = (
+            pair.acceptance if acceptance_override is None else acceptance_override
+        )
+        # Calibrate raw agreement so acceptance *measured over tokens that
+        # pass the default confidence cutoff* matches the paper's rate.
+        self.oracle, self.draft_oracle = make_aligned_pair(
+            acceptance, seed=seed, vocab=self.vocab, cutoff=base_cutoff
+        )
+        self._draft_pass_time = self.draft_cost.full_model_time(head_node, 1)
+
+    # -- drafting -----------------------------------------------------------------
+
+    def new_chain(self, tokens: Sequence[int]) -> ChainState:
+        return ChainState(tokens, oracle=self.oracle)
+
+    def propose(self, chain: ChainState) -> Tuple[int, float]:
+        state = chain.state_after(len(chain))
+        token = self.draft_oracle.next_token_from_state(state)
+        conf = self.draft_oracle.confidence_from_state(state)
+        return token, conf
+
+    def propose_alternatives(self, prefix: Sequence[int], n: int) -> List[Tuple[int, float]]:
+        state = self.oracle.init_state(prefix)
+        token = self.draft_oracle.next_token_from_state(state)
+        conf = self.draft_oracle.confidence_from_state(state)
+        out = [(token, conf)]
+        for k in range(1, n):
+            alt = (token + 7919 * k) % self.vocab
+            if alt == token:
+                alt = (alt + 1) % self.vocab
+            out.append((alt, conf * (0.4 ** k)))
+        return out
+
+    def draft_token_time(self) -> float:
+        return self._draft_pass_time
+
+    def draft_pipeline_token_time(self, nodes, link_latency: float) -> float:
+        arch = self.pair.draft_arch
+        total = 0.0
+        n_ranks = len(nodes)
+        base = arch.n_layers // n_ranks
+        extra = arch.n_layers % n_ranks
+        for i, node in enumerate(nodes):
+            n_layers = base + (1 if i < extra else 0)
+            total += n_layers * self.draft_cost.layer_time(node, 1)
+            total += node.compute_overhead
+            total += link_latency
+        total += self.draft_cost.output_head_time(nodes[-1], 1)
+        return total
+
+    def slot_states(self, chain: ChainState, start_index: int, n: int) -> Optional[List[int]]:
+        return [chain.state_after(start_index + i + 1) for i in range(n)]
+
+    def slot_states_for_prefixes(
+        self, prefixes: Sequence[Sequence[int]]
+    ) -> Optional[List[int]]:
+        return [self.oracle.init_state(p) for p in prefixes]
+
+    # -- worker compute ---------------------------------------------------------------
+
+    def make_worker_state(self, rank, layer_range, first, last) -> WorkerState:
+        return WorkerState(rank, layer_range, RangeKVCache(), first, last)
+
+    def compute_stage(self, ws, meta, hidden_in):
+        cache: RangeKVCache = ws.cache
+        for slot in meta.slots:
+            for seq in slot.seq_ids:
+                cache.add_tokens(seq, (slot.pos,))
+        return None
+
+    def finalize_logits(self, ws, meta, hidden):
+        if meta.oracle_states is None:
+            raise RuntimeError("oracle backend needs per-slot states in the meta")
+        out: List[OracleLogits] = []
+        for slot, state in zip(meta.slots, meta.oracle_states):
+            if slot.want_logits:
+                out.append(self.oracle.logits_from_state(state))
+        return out
+
+    # -- timing -------------------------------------------------------------------------
+
+    def stage_chunks(self, node, layer_range, n_tokens):
+        lo, hi = layer_range
+        n_layers = hi - lo
+        if n_layers <= 0:
+            return [node.compute_overhead]
+        per_layer = self.target_cost.layer_time(node, n_tokens)
+        chunks = []
+        remaining = n_layers
+        while remaining > 0:
+            step = min(self.probe_chunk_layers, remaining)
+            chunks.append(step * per_layer)
+            remaining -= step
+        chunks[0] += node.compute_overhead
+        return chunks
+
+    def prefill_chunks(self, node, layer_range, n_tokens):
+        lo, hi = layer_range
+        per_layer = self.target_cost.layer_time(node, n_tokens)
+        return [(hi - lo) * per_layer + node.compute_overhead]
+
+    def logits_time(self, node, n_logits):
+        return self.target_cost.output_head_time(node, n_logits)
+
+    # -- sizes / memory ---------------------------------------------------------------------
+
+    def activation_nbytes(self, n_tokens: int) -> float:
+        return self.target_cost.activation_bytes(n_tokens)
+
+    def logits_nbytes(self, n_logits: int) -> float:
+        return self.target_cost.logits_bytes(n_logits)
+
+    def node_memory(self, layer_range, hosts_draft, n_cells, first=False, last=False) -> float:
+        total = 512e6  # runtime buffers, scratch, code
+        arch = self.pair.target_arch
+        if layer_range is not None:
+            lo, hi = layer_range
+            total += (hi - lo) * arch.bytes_per_layer
+            if first:
+                total += arch.vocab * arch.d_model * 2.0  # embedding table
+            if last:
+                total += arch.vocab * arch.d_model * 2.0  # output head
+            total += self.target_cost.kv_bytes(hi - lo, n_cells)
+        if hosts_draft:
+            total += self.draft_cost.weights_bytes()
+            total += self.draft_cost.kv_bytes(self.pair.draft_arch.n_layers, n_cells)
+        return total

@@ -1,0 +1,282 @@
+"""Shared engine machinery: configuration, wiring, dispatch helpers.
+
+An *engine* is one inference strategy.  Engines share the pipeline worker
+(:mod:`repro.engines.worker`) and differ in their head-node process.  A
+:class:`BaseEngine` handles the common wiring: rank layout, layer
+partitioning, worker state, transaction dispatch, prompt prefill, and
+shutdown.  :func:`run_engine` builds a fresh simulation, runs one
+generation job to completion, and returns an :class:`EngineReport`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field, replace
+from typing import Generator, List, Optional, Sequence, Tuple
+
+from repro.cluster.kernel import Delay, SimKernel, run_to_completion
+from repro.cluster.topology import Cluster
+from repro.comm.message import Tag
+from repro.comm.mpi_sim import Endpoint, Network
+from repro.comm.payloads import (
+    Activations,
+    CacheOp,
+    DecodeMeta,
+    ShutdownMsg,
+    TokenSlot,
+)
+from repro.comm.transactions import TransactionType, send_transaction
+from repro.engines.backend import Backend, WorkerState, apply_cache_op
+from repro.metrics.collectors import MetricsCollector
+from repro.metrics.report import EngineReport
+from repro.models.sampler import LogitsLike, argmax_token
+from repro.pipeline.partition import partition_for
+from repro.spec.draft import DraftParams
+
+#: Wire size of a cache-op command.
+CACHE_OP_NBYTES = 32.0
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Algorithm knobs shared by all engines.
+
+    PipeInfer-specific fields (Section IV): micro-batch size, the number
+    of KV sequence partitions, the reactive-cutoff factors, and the
+    ablation switches for Figure 8.
+    """
+
+    draft: DraftParams = field(default_factory=DraftParams)
+    #: KV-cache sequence partitions available to speculative runs (IV-C).
+    n_seq_partitions: int = 8
+    #: Continuous-speculation micro-batch size, 1-4 in the paper (IV-B1).
+    microbatch_size: int = 4
+    #: Maximum drafted-but-unverified chain length before drafting pauses.
+    lookahead_cap: int = 16
+    #: Confidence-cutoff recovery factor (IV-B2): added per successful
+    #: continuous-speculation iteration, reset on run acceptance.
+    cutoff_recovery: float = 0.06
+    #: Confidence-cutoff decay factor (IV-B2): subtracted when speculation
+    #: halts and no logits are waiting.
+    cutoff_decay: float = 0.03
+    #: Figure 8 ablation switches.
+    enable_cancellation: bool = True
+    enable_continuous: bool = True
+    #: Head-node idle poll interval when drafting is paused.
+    idle_poll: float = 2e-4
+    #: KV cells per worker shard (functional mode sizing).
+    n_cells: int = 2048
+
+    def ablated(self, **changes) -> "EngineConfig":
+        """A copy with the given fields replaced (ablation studies)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class GenerationJob:
+    """One generation request."""
+
+    prompt: Tuple[int, ...]
+    n_generate: int = 256
+
+    def __post_init__(self) -> None:
+        if not self.prompt:
+            raise ValueError("prompt must not be empty")
+        if self.n_generate < 1:
+            raise ValueError("must generate at least one token")
+
+
+class BaseEngine(ABC):
+    """Common wiring for pipeline engines."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        backend: Backend,
+        network: Network,
+        config: EngineConfig,
+        metrics: MetricsCollector,
+    ) -> None:
+        self.backend = backend
+        self.net = network
+        self.cluster = network.cluster
+        self.config = config
+        self.metrics = metrics
+        self.generated_tokens: List[int] = []
+        self._next_run_id = 0
+
+    # -- rank layout (overridden by PipeInfer) --------------------------------
+
+    def target_ranks(self) -> List[int]:
+        """Ranks evaluating target-model layers, pipeline order."""
+        return list(range(self.cluster.size))
+
+    def head_rank(self) -> int:
+        return 0
+
+    def hosts_draft(self) -> bool:
+        """Whether the head node holds the draft model."""
+        return False
+
+    def partition(self) -> List[Tuple[int, int]]:
+        """Layer ranges per target rank (bandwidth-weighted)."""
+        ranks = self.target_ranks()
+        nodes = [self.cluster.nodes[r] for r in ranks]
+        return partition_for(self.backend.n_target_layers, nodes)
+
+    def layer_range_of(self, rank: int) -> Optional[Tuple[int, int]]:
+        ranks = self.target_ranks()
+        if rank not in ranks:
+            return None
+        return self.partition()[ranks.index(rank)]
+
+    # -- spawn -------------------------------------------------------------------
+
+    def spawn(self, kernel: SimKernel, job: GenerationJob):
+        """Spawn head and worker processes; returns them for liveness checks."""
+        from repro.engines.worker import pipeline_worker  # cycle avoidance
+
+        ranks = self.target_ranks()
+        parts = self.partition()
+        procs = []
+        self._worker_states = {}
+        for i, rank in enumerate(ranks):
+            first = i == 0
+            last = i == len(ranks) - 1
+            ws = self.backend.make_worker_state(rank, parts[i], first, last)
+            self._worker_states[rank] = ws
+            if rank == self.head_rank():
+                continue  # the head drives its own stage inline
+            upstream = ranks[i - 1] if i > 0 else self.head_rank()
+            downstream = ranks[i + 1] if i + 1 < len(ranks) else None
+            procs.append(
+                kernel.spawn(
+                    pipeline_worker(
+                        net=self.net,
+                        rank=rank,
+                        upstream=upstream,
+                        downstream=downstream,
+                        head_rank=self.head_rank(),
+                        backend=self.backend,
+                        ws=ws,
+                        node=self.cluster.nodes[rank],
+                        metrics=self.metrics,
+                    ),
+                    name=f"worker-{rank}",
+                )
+            )
+        procs.append(kernel.spawn(self._head(job), name="head"))
+        self._record_memory()
+        return procs
+
+    def _record_memory(self) -> None:
+        ranks = self.target_ranks()
+        parts = self.partition()
+        for rank in range(self.cluster.size):
+            layer_range = None
+            first = last = False
+            if rank in ranks:
+                i = ranks.index(rank)
+                layer_range = parts[i]
+                first, last = i == 0, i == len(ranks) - 1
+            hosts_draft = rank == self.head_rank() and self.hosts_draft()
+            self.metrics.set_node_memory(
+                rank,
+                self.backend.node_memory(
+                    layer_range, hosts_draft, self.config.n_cells, first, last
+                ),
+            )
+
+    @abstractmethod
+    def _head(self, job: GenerationJob) -> Generator:
+        """The head node's process."""
+
+    # -- dispatch helpers -----------------------------------------------------------
+
+    def new_run_id(self) -> int:
+        self._next_run_id += 1
+        return self._next_run_id
+
+    def ep(self) -> Endpoint:
+        return self.net.endpoint(self.head_rank())
+
+    def send_decode(
+        self, dest: int, meta: DecodeMeta, act: Activations
+    ) -> None:
+        meta.nbytes = self.backend.meta_nbytes(meta.n_tokens)
+        send_transaction(
+            self.ep(),
+            dest,
+            TransactionType.DECODE,
+            [(meta, meta.nbytes), (act, act.nbytes)],
+        )
+
+    def send_cache_ops(self, dest: int, ops: Sequence[CacheOp]) -> None:
+        """Send one CACHE_OP transaction carrying a batch of commands.
+
+        The batch travels as a single piece so the receiving handler
+        consumes exactly one message per transaction regardless of the
+        command count.
+        """
+        if not ops:
+            return
+        batch = list(ops)
+        send_transaction(
+            self.ep(),
+            dest,
+            TransactionType.CACHE_OP,
+            [(batch, CACHE_OP_NBYTES * len(batch))],
+            eager=True,
+        )
+
+    def send_shutdown(self, dest: int) -> None:
+        send_transaction(
+            self.ep(), dest, TransactionType.SHUTDOWN, [(ShutdownMsg(), 8.0)], eager=True
+        )
+
+    def finish(self, job: GenerationJob, accepted: Sequence[int]) -> None:
+        """Record results and shut the pipeline down.
+
+        A verification batch can accept several tokens at once and overshoot
+        the budget; the result is clipped so every strategy reports exactly
+        ``n_generate`` tokens (making outputs directly comparable).
+        """
+        self.generated_tokens = list(accepted[len(job.prompt):][: job.n_generate])
+        self.metrics.mark_finish(self.net.kernel.now)
+        ranks = self.target_ranks()
+        first_downstream = (
+            ranks[0] if ranks and ranks[0] != self.head_rank() else
+            (ranks[1] if len(ranks) > 1 else None)
+        )
+        if first_downstream is not None:
+            self.send_shutdown(first_downstream)
+
+
+def run_engine(
+    engine_factory,
+    backend: Backend,
+    cluster: Cluster,
+    job: GenerationJob,
+    config: Optional[EngineConfig] = None,
+) -> EngineReport:
+    """Build a fresh simulation, run one generation, return its report.
+
+    Args:
+        engine_factory: engine class (or callable) taking
+            (backend, network, config, metrics).
+        backend: functional or oracle backend.
+        cluster: the testbed (bound to a fresh kernel here).
+        job: prompt and token budget.
+        config: algorithm knobs; defaults to :class:`EngineConfig`.
+    """
+    config = config or EngineConfig()
+    kernel = SimKernel()
+    network = Network(kernel, cluster)
+    metrics = MetricsCollector()
+    engine = engine_factory(backend, network, config, metrics)
+    procs = engine.spawn(kernel, GenerationJob(tuple(job.prompt), job.n_generate))
+    run_to_completion(kernel, procs)
+    return EngineReport.from_collector(
+        engine.name, cluster.size, engine.generated_tokens, metrics
+    )

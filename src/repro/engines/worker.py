@@ -1,0 +1,199 @@
+"""The pipeline worker process, shared by every distributed engine.
+
+A worker rank loops on its mailbox:
+
+- transaction **starts** from its upstream neighbor dispatch to the typed
+  handler (decode, cache op, shutdown) — strictly in arrival order, which
+  MPI non-overtaking makes deterministic (paper Fig. 2);
+- **cancellation signals** (their own tag, eager lane) are recorded
+  whenever they arrive and are also *probed between compute chunks* — the
+  paper's "thread synchronization points" — letting a node abandon a
+  speculative run mid-evaluation (Section IV-D2);
+- cancelled runs still forward an **empty activation record** downstream
+  so message ordering and per-node state stay intact (IV-D2), and the last
+  rank still returns a cancelled logits record so the head can pop its
+  run FIFO.
+
+Non-speculative runs are never skipped, even when cancelled: KV
+multibuffering's early cache-entry sharing relies on canonical runs
+completing (IV-D3); only their final sampling is skipped at the head.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Set
+
+from repro.cluster.hardware import NodeSpec
+from repro.cluster.kernel import Delay
+from repro.comm.message import ANY_SOURCE, Tag
+from repro.comm.mpi_sim import Network
+from repro.comm.payloads import Activations, CacheOp, LogitsPayload
+from repro.comm.transactions import TransactionType, recv_piece
+from repro.engines.backend import (
+    Backend,
+    EMPTY_ACTIVATION_NBYTES,
+    WorkerState,
+    apply_cache_op,
+)
+from repro.metrics.collectors import MetricsCollector
+
+#: Wire size of a cancelled logits record.
+CANCELLED_LOGITS_NBYTES = 24.0
+
+
+def pipeline_worker(
+    net: Network,
+    rank: int,
+    upstream: int,
+    downstream: Optional[int],
+    head_rank: int,
+    backend: Backend,
+    ws: WorkerState,
+    node: NodeSpec,
+    metrics: MetricsCollector,
+) -> Generator:
+    """Worker process for one pipeline rank.
+
+    Args:
+        net: the simulation network.
+        rank: this worker's rank.
+        upstream: rank that feeds this stage (head for the first stage).
+        downstream: next stage, or None for the last stage (which returns
+            logits to ``head_rank`` instead).
+        backend: model behaviour (compute, sizes, timing).
+        ws: this rank's worker state (layer range + KV shard).
+    """
+    ep = net.endpoint(rank)
+    cancelled: Set[int] = set()
+
+    def busy(seconds: float) -> None:
+        metrics.add_busy(rank, seconds)
+
+    def record_cancel(run_id: int) -> None:
+        if run_id in cancelled:
+            return
+        cancelled.add(run_id)
+        # Back-propagate toward earlier stages (IV-D2).  The first target
+        # stage's upstream is the head, which originated the signal.
+        if upstream != head_rank:
+            ep.send(
+                CancelForward(run_id), upstream, Tag.CANCEL, nbytes=16.0, eager=True
+            )
+
+    while True:
+        # Receiver discipline: the main loop only accepts transaction
+        # starts and out-of-band cancels; typed payload pieces are pulled
+        # by the transaction handlers on their own tags.
+        msg = yield from ep.recv(ANY_SOURCE, (Tag.START, Tag.CANCEL))
+        if msg.tag == Tag.CANCEL:
+            record_cancel(msg.payload.run_id)
+            continue
+        if msg.tag != Tag.START:
+            raise RuntimeError(f"worker {rank}: unexpected message {msg!r}")
+        ttype = TransactionType(msg.payload)
+
+        if ttype == TransactionType.SHUTDOWN:
+            yield from recv_piece(ep, msg.src, ttype)
+            if downstream is not None:
+                from repro.comm.transactions import send_transaction
+                from repro.comm.payloads import ShutdownMsg
+
+                send_transaction(
+                    ep, downstream, TransactionType.SHUTDOWN,
+                    [(ShutdownMsg(), 8.0)], eager=True,
+                )
+            return
+
+        if ttype == TransactionType.CACHE_OP:
+            batch = yield from recv_piece(ep, msg.src, ttype)
+            for op in batch:
+                apply_cache_op(ws.cache, op)
+            yield Delay(2e-6 * len(batch))
+            if downstream is not None:
+                from repro.comm.transactions import send_transaction
+
+                send_transaction(
+                    ep, downstream, TransactionType.CACHE_OP,
+                    [(batch, 32.0 * len(batch))], eager=True,
+                )
+            continue
+
+        if ttype != TransactionType.DECODE:
+            raise RuntimeError(f"worker {rank}: unknown transaction {ttype}")
+
+        meta = yield from recv_piece(ep, msg.src, ttype)
+        act: Activations = yield from recv_piece(ep, msg.src, ttype)
+
+        # Drain any cancellation signals that raced ahead of this decode.
+        while ep.iprobe(ANY_SOURCE, Tag.CANCEL):
+            cmsg = yield from ep.recv(ANY_SOURCE, Tag.CANCEL)
+            record_cancel(cmsg.payload.run_id)
+
+        lo, hi = ws.layer_range
+        skip = act.cancelled or (meta.is_speculative and meta.run_id in cancelled)
+        hidden = None
+        if skip:
+            metrics.stats.worker_layer_evals_skipped += hi - lo
+        else:
+            chunks = backend.stage_chunks(node, ws.layer_range, meta.n_tokens)
+            aborted = False
+            done_frac = 0
+            for i, chunk in enumerate(chunks):
+                yield Delay(chunk)
+                busy(chunk)
+                # Thread-synchronization-point probe: react to cancels that
+                # arrive while this run is being evaluated.
+                while ep.iprobe(ANY_SOURCE, Tag.CANCEL):
+                    cmsg = yield from ep.recv(ANY_SOURCE, Tag.CANCEL)
+                    record_cancel(cmsg.payload.run_id)
+                if meta.is_speculative and meta.run_id in cancelled:
+                    aborted = True
+                    remaining = len(chunks) - (i + 1)
+                    metrics.stats.worker_layer_evals_skipped += max(
+                        0, (hi - lo) * remaining // max(len(chunks), 1)
+                    )
+                    break
+            if aborted:
+                skip = True
+            else:
+                hidden = backend.compute_stage(ws, meta, act.hidden)
+
+        if ws.is_last_stage:
+            if skip:
+                payload = LogitsPayload(
+                    meta.run_id, [], nbytes=CANCELLED_LOGITS_NBYTES, cancelled=True
+                )
+            else:
+                n_want = sum(1 for s in meta.slots if s.want_logits)
+                t = backend.logits_time(node, n_want)
+                yield Delay(t)
+                busy(t)
+                logits = backend.finalize_logits(ws, meta, hidden)
+                payload = LogitsPayload(
+                    meta.run_id, logits, nbytes=backend.logits_nbytes(n_want)
+                )
+            ep.send(payload, head_rank, Tag.LOGITS, nbytes=payload.nbytes)
+        else:
+            from repro.comm.transactions import send_transaction
+
+            out = (
+                Activations(meta.run_id, EMPTY_ACTIVATION_NBYTES, None, cancelled=True)
+                if skip
+                else Activations(
+                    meta.run_id, backend.activation_nbytes(meta.n_tokens), hidden
+                )
+            )
+            send_transaction(
+                ep, downstream, TransactionType.DECODE,
+                [(meta, meta.nbytes), (out, out.nbytes)],
+            )
+
+
+class CancelForward:
+    """Cancellation signal payload relayed between workers."""
+
+    __slots__ = ("run_id", "nbytes")
+
+    def __init__(self, run_id: int) -> None:
+        self.run_id = run_id
+        self.nbytes = 16.0

@@ -1,0 +1,16 @@
+"""Experiment harnesses: one module per paper figure/table.
+
+Each module exposes ``run()`` returning the figure's series and a
+``main()`` that prints the same rows the paper plots.  Invoke as e.g.::
+
+    python -m repro.experiments.fig4
+    python -m repro.experiments.fig8
+
+Scale knobs (environment): ``REPRO_TOKENS`` (generated tokens per run,
+default 160), ``REPRO_REPS`` (repetitions averaged, default 3; the paper
+used 512 tokens x 10 reps — set 512/10 to match).
+"""
+
+from repro.experiments.common import ExperimentScale, run_cell, scale_from_env
+
+__all__ = ["ExperimentScale", "run_cell", "scale_from_env"]

@@ -1,0 +1,95 @@
+"""Shared experiment machinery: cells, sweeps, scale control."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.testbed import make_testbed
+from repro.cluster.topology import Cluster
+from repro.core.engine import PipeInferEngine
+from repro.engines.backend import OracleBackend
+from repro.engines.base import EngineConfig, GenerationJob, run_engine
+from repro.engines.iterative import IterativeEngine
+from repro.engines.speculative import SpeculativeEngine
+from repro.metrics.report import EngineReport, aggregate
+from repro.models.zoo import get_pair
+from repro.workloads.prompts import make_prompt
+
+ENGINES = {
+    "iter": IterativeEngine,
+    "spec": SpeculativeEngine,
+    "pipe": PipeInferEngine,
+}
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How big to run: tokens per generation and repetitions to average."""
+
+    n_generate: int = 160
+    reps: int = 3
+    prompt_len: int = 128
+
+
+def scale_from_env() -> ExperimentScale:
+    """Scale from ``REPRO_TOKENS`` / ``REPRO_REPS`` (paper: 512 / 10)."""
+    return ExperimentScale(
+        n_generate=int(os.environ.get("REPRO_TOKENS", "160")),
+        reps=int(os.environ.get("REPRO_REPS", "3")),
+        prompt_len=int(os.environ.get("REPRO_PROMPT", "128")),
+    )
+
+
+def run_cell(
+    pair_key: str,
+    strategy: str,
+    cluster: Cluster,
+    scale: Optional[ExperimentScale] = None,
+    config: Optional[EngineConfig] = None,
+    prompt_kind: str = "wikitext",
+    acceptance_delta: float = 0.0,
+) -> EngineReport:
+    """One experiment cell: (model pair, strategy, cluster), averaged.
+
+    Repetitions vary the oracle seed, mimicking the paper's 10 averaged
+    runs; the simulation itself is deterministic per seed.
+    """
+    scale = scale or scale_from_env()
+    pair = get_pair(pair_key)
+    engine = ENGINES[strategy]
+    prompt = make_prompt(prompt_kind, scale.prompt_len, pair.target_arch.vocab)
+    job = GenerationJob(prompt=prompt, n_generate=scale.n_generate)
+    acceptance = min(max(pair.acceptance + acceptance_delta, 0.01), 0.99)
+    reports = []
+    for rep in range(scale.reps):
+        backend = OracleBackend(
+            pair,
+            head_node=cluster.nodes[0],
+            seed=rep * 1013,
+            acceptance_override=acceptance,
+        )
+        reports.append(run_engine(engine, backend, cluster, job, config))
+    return aggregate(reports)
+
+
+def node_sweep(
+    pair_key: str,
+    strategies: Sequence[str],
+    testbed: str,
+    node_counts: Sequence[int],
+    scale: Optional[ExperimentScale] = None,
+    config: Optional[EngineConfig] = None,
+) -> Dict[str, List[EngineReport]]:
+    """Run a strategies x node-count grid on one testbed (Figures 4-6)."""
+    out: Dict[str, List[EngineReport]] = {s: [] for s in strategies}
+    for n in node_counts:
+        cluster = make_testbed(testbed, n)
+        for s in strategies:
+            out[s].append(run_cell(pair_key, s, cluster, scale, config))
+    return out
+
+
+#: Node counts used by the paper's cluster-C sweeps.
+PAPER_NODE_COUNTS = (4, 8, 15, 32)

@@ -1,0 +1,59 @@
+"""Figure 10: prompt-to-prompt variance on the GPU cluster.
+
+Senku-70B + TinyLlama across the four prompt classes.  Task domain shifts
+the draft's alignment; the synchronous baseline's speed swings with it
+while PipeInfer stays comparatively level (continuous speculation and
+cancellation absorb acceptance-rate changes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.testbed import gpu_testbed
+from repro.experiments.common import ExperimentScale, run_cell
+from repro.util.tables import format_series
+from repro.workloads.prompts import PROMPT_CLASSES
+
+FIG10_PROMPTS = ("explain", "paper", "roleplay", "code")
+PAIR = "senku+tinyllama"
+
+
+def run(scale: Optional[ExperimentScale] = None) -> Dict[str, List[float]]:
+    cluster = gpu_testbed()
+    series: Dict[str, List[float]] = {"PipeInfer": [], "Speculative": []}
+    for kind in FIG10_PROMPTS:
+        delta = PROMPT_CLASSES[kind].acceptance_delta
+        series["PipeInfer"].append(
+            run_cell(PAIR, "pipe", cluster, scale,
+                     prompt_kind=kind, acceptance_delta=delta).generation_speed
+        )
+        series["Speculative"].append(
+            run_cell(PAIR, "spec", cluster, scale,
+                     prompt_kind=kind, acceptance_delta=delta).generation_speed
+        )
+    return series
+
+
+def variance_ratio(series: Dict[str, List[float]]) -> Dict[str, float]:
+    """Relative spread (max-min)/mean per strategy — the figure's message."""
+    out = {}
+    for name, values in series.items():
+        mean = sum(values) / len(values)
+        out[name] = (max(values) - min(values)) / mean if mean else 0.0
+    return out
+
+
+def main() -> None:
+    series = run()
+    labels = [PROMPT_CLASSES[k].description for k in FIG10_PROMPTS]
+    print(format_series("prompt", labels, series,
+                        title="Figure 10 — prompt-to-prompt variance "
+                              "(Senku 70B + TinyLlama, 4 GPUs)",
+                        unit="tokens/s"))
+    for name, spread in variance_ratio(series).items():
+        print(f"{name}: relative spread {spread:.2%}")
+
+
+if __name__ == "__main__":
+    main()

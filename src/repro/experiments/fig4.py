@@ -1,0 +1,60 @@
+"""Figure 4: generation speed of model pairs across node counts.
+
+Three subfigures on cluster C, node counts {4, 8, 15, 32}:
+
+- (a) Dolphin-70B with TinyLlama / Orca2 drafts,
+- (b) Goliath-120B with XWin-7B / XWin-13B drafts,
+- (c) Falcon-180B with Falcon-7B / Falcon-40B drafts,
+
+each comparing iterative, speculative, and PipeInfer inference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.common import (
+    ExperimentScale,
+    PAPER_NODE_COUNTS,
+    node_sweep,
+)
+from repro.util.tables import format_series
+
+#: Subfigure -> [(pair key, legend suffix), ...]
+SUBFIGURES: Dict[str, List[Tuple[str, str]]] = {
+    "4a: Dolphin-70B": [("dolphin+tinyllama", "TinyLlama"), ("dolphin+orca2", "Orca2")],
+    "4b: Goliath-120B": [("goliath+xwin7b", "XWin-7B"), ("goliath+xwin13b", "XWin-13B")],
+    "4c: Falcon-180B": [("falcon+7b", "Falcon-7B"), ("falcon+40b", "Falcon-40B")],
+}
+
+
+def run(
+    metric: str = "generation_speed",
+    scale: Optional[ExperimentScale] = None,
+    node_counts=PAPER_NODE_COUNTS,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Compute every subfigure's series; shared by Figures 4, 5 and 6."""
+    figures: Dict[str, Dict[str, List[float]]] = {}
+    for title, pairs in SUBFIGURES.items():
+        series: Dict[str, List[float]] = {}
+        first_key = pairs[0][0]
+        iters = node_sweep(first_key, ["iter"], "C", node_counts, scale)["iter"]
+        series["Iter."] = [getattr(r, metric) for r in iters]
+        for pair_key, label in pairs:
+            grid = node_sweep(pair_key, ["spec", "pipe"], "C", node_counts, scale)
+            series[f"Spec. ({label})"] = [getattr(r, metric) for r in grid["spec"]]
+            series[f"Pipe. ({label})"] = [getattr(r, metric) for r in grid["pipe"]]
+        figures[title] = series
+    return figures
+
+
+def main(metric: str = "generation_speed", unit: str = "tokens/s") -> None:
+    figures = run(metric)
+    for title, series in figures.items():
+        print(format_series("nodes", list(PAPER_NODE_COUNTS), series,
+                            title=f"Figure {title} — {metric}", unit=unit))
+        print()
+
+
+if __name__ == "__main__":
+    main()

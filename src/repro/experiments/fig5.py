@@ -1,0 +1,20 @@
+"""Figure 5: time-to-first-token latencies (same grid as Figure 4).
+
+PipeInfer reaches near-parity with iterative inference while the
+speculative baseline pays for generating the tree before the first
+verification completes.
+"""
+
+from repro.experiments import fig4
+
+
+def run(scale=None):
+    return fig4.run(metric="ttft", scale=scale)
+
+
+def main() -> None:
+    fig4.main(metric="ttft", unit="seconds")
+
+
+if __name__ == "__main__":
+    main()

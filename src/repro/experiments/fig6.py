@@ -1,0 +1,20 @@
+"""Figure 6: inter-token latencies (same grid as Figure 4).
+
+The paper observes ITL tracking the inverse of generation speed,
+"verifying the correctness of our results" — the same consistency check
+the integration suite asserts.
+"""
+
+from repro.experiments import fig4
+
+
+def run(scale=None):
+    return fig4.run(metric="itl", scale=scale)
+
+
+def main() -> None:
+    fig4.main(metric="itl", unit="seconds")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Figure 7: resource and constrained-hardware analysis.
+
+- 7a: memory efficiency (tokens/s per GB of mean per-node memory,
+  log-scale in the paper) for the three representative pairs on cluster C;
+- 7b: TTFT for the three inference methods on cluster A (GigE);
+- 7c: generation speed on the constrained clusters A/B at 4/8/13 nodes —
+  the 13-node point brings in the heterogeneous Optiplexes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.testbed import cluster_a, cluster_b
+from repro.experiments.common import (
+    ExperimentScale,
+    PAPER_NODE_COUNTS,
+    node_sweep,
+    run_cell,
+)
+from repro.util.tables import format_series
+
+#: The representative pair per target family (small draft, as in Fig. 7c).
+FAMILY_PAIRS = {
+    "Dolphin": "dolphin+tinyllama",
+    "Goliath": "goliath+xwin7b",
+    "Falcon": "falcon+7b",
+}
+
+
+def run_7a(scale: Optional[ExperimentScale] = None) -> Dict[str, List[float]]:
+    """Speed-per-GB series per strategy and family, across cluster C sizes."""
+    series: Dict[str, List[float]] = {}
+    for family, pair_key in FAMILY_PAIRS.items():
+        grid = node_sweep(pair_key, ["iter", "spec", "pipe"], "C",
+                          PAPER_NODE_COUNTS, scale)
+        series[f"Iter. ({family})"] = [r.speed_per_gb() for r in grid["iter"]]
+        series[f"Speculative ({family})"] = [r.speed_per_gb() for r in grid["spec"]]
+        series[f"PipeInfer ({family})"] = [r.speed_per_gb() for r in grid["pipe"]]
+    return series
+
+
+def run_7b(scale: Optional[ExperimentScale] = None) -> Dict[str, List[float]]:
+    """TTFT on cluster A (8 nodes) per family and strategy."""
+    series: Dict[str, List[float]] = {"Iterative": [], "Speculative": [], "PipeInfer": []}
+    for family, pair_key in FAMILY_PAIRS.items():
+        cluster = cluster_a(8)
+        series["Iterative"].append(run_cell(pair_key, "iter", cluster, scale).ttft)
+        series["Speculative"].append(run_cell(pair_key, "spec", cluster, scale).ttft)
+        series["PipeInfer"].append(run_cell(pair_key, "pipe", cluster, scale).ttft)
+    return series
+
+
+def run_7c(scale: Optional[ExperimentScale] = None) -> Dict[str, List[float]]:
+    """Generation speed on the constrained clusters at 4/8/13 nodes.
+
+    4- and 8-node points use cluster A's homogeneous Xeons; the 13-node
+    point extends into cluster B's slower Optiplexes.
+    """
+    series: Dict[str, List[float]] = {}
+    for family, pair_key in FAMILY_PAIRS.items():
+        for strategy, label in (("iter", "Iter."), ("spec", "Spec."), ("pipe", "Pipe.")):
+            values = []
+            for n in (4, 8, 13):
+                cluster = cluster_a(n) if n <= 8 else cluster_b(n)
+                values.append(
+                    run_cell(pair_key, strategy, cluster, scale).generation_speed
+                )
+            series[f"{label} ({family})"] = values
+    return series
+
+
+def main() -> None:
+    print(format_series("nodes", list(PAPER_NODE_COUNTS), run_7a(),
+                        title="Figure 7a — memory efficiency", unit="tokens/s per GB"))
+    print()
+    print(format_series("model", list(FAMILY_PAIRS), run_7b(),
+                        title="Figure 7b — TTFT on cluster A", unit="seconds"))
+    print()
+    print(format_series("nodes", [4, 8, 13], run_7c(),
+                        title="Figure 7c — constrained clusters", unit="tokens/s"))
+
+
+if __name__ == "__main__":
+    main()

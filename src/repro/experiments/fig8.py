@@ -1,0 +1,67 @@
+"""Figure 8: ablation studies on an 8-node configuration of cluster C.
+
+Three model pairs (TinyLlama, XWin-7B, Falcon-7B drafts) under:
+
+- full PipeInfer,
+- early inference cancellation ablated (signals never sent; invalid runs
+  evaluate in full),
+- continuous speculation ablated with the speculative batch size doubled
+  as a counter-balance (single larger asynchronous run at a time).
+
+The paper additionally ablated KV multibuffering and asynchronous
+speculation, both of which produced *incorrect output* rather than a
+performance point; the correctness suite demonstrates the same (disabling
+partition isolation breaks output equivalence), so no numbers exist for
+them here either.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.testbed import cluster_c
+from repro.engines.base import EngineConfig
+from repro.experiments.common import ExperimentScale, run_cell
+from repro.util.tables import format_series
+
+ABLATION_PAIRS = {
+    "Dolphin": "dolphin+tinyllama",
+    "Goliath": "goliath+xwin7b",
+    "Falcon": "falcon+7b",
+}
+
+VARIANTS = {
+    "PipeInfer": EngineConfig(),
+    "No cancellation": EngineConfig().ablated(enable_cancellation=False),
+    "No cont. spec.": EngineConfig().ablated(
+        enable_continuous=False, microbatch_size=8
+    ),
+}
+
+
+def run(scale: Optional[ExperimentScale] = None) -> Dict[str, Dict[str, List[float]]]:
+    """metric -> series; series maps "family: variant" to a single value."""
+    cluster = cluster_c(8)
+    out: Dict[str, Dict[str, List[float]]] = {
+        "speed": {}, "ttft": {}, "itl": {}
+    }
+    for family, pair_key in ABLATION_PAIRS.items():
+        for variant, config in VARIANTS.items():
+            r = run_cell(pair_key, "pipe", cluster, scale, config=config)
+            key = f"{family}: {variant}"
+            out["speed"][key] = [r.generation_speed]
+            out["ttft"][key] = [r.ttft]
+            out["itl"][key] = [r.itl]
+    return out
+
+
+def main() -> None:
+    results = run()
+    for metric, unit in (("speed", "tokens/s"), ("ttft", "s"), ("itl", "s")):
+        print(format_series("value", [unit], results[metric],
+                            title=f"Figure 8 — {metric} (8 nodes)"))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Figure 9: token generation speed on the 4-GPU cluster (Table IV).
+
+Seven model pairs, PipeInfer vs speculative inference.  The paper found
+PipeInfer ahead in all but one case — the Llama-3-based Dolphin 2.9 pair,
+whose unusually well-aligned 8B draft makes synchronous speculation
+competitive on the short 4-node pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.testbed import gpu_testbed
+from repro.experiments.common import ExperimentScale, run_cell
+from repro.models.zoo import GPU_PAIRS
+from repro.util.tables import format_series
+
+
+def run(scale: Optional[ExperimentScale] = None) -> Dict[str, List[float]]:
+    cluster = gpu_testbed()
+    series: Dict[str, List[float]] = {"PipeInfer": [], "Speculative": []}
+    for key in GPU_PAIRS:
+        series["PipeInfer"].append(
+            run_cell(key, "pipe", cluster, scale).generation_speed
+        )
+        series["Speculative"].append(
+            run_cell(key, "spec", cluster, scale).generation_speed
+        )
+    return series
+
+
+def main() -> None:
+    labels = [GPU_PAIRS[k].label for k in GPU_PAIRS]
+    print(format_series("pair", labels, run(),
+                        title="Figure 9 — 4-GPU cluster generation speed",
+                        unit="tokens/s"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Tables I-IV: model pairs and testbeds, as the paper prints them."""
+
+from __future__ import annotations
+
+from repro.cluster.testbed import cluster_a, cluster_b, cluster_c, gpu_testbed
+from repro.models.cost import CostModel
+from repro.models.zoo import CPU_PAIRS, GPU_PAIRS, MODEL_ZOO
+from repro.util.tables import format_table
+
+
+def table_pairs(pairs, title: str) -> str:
+    rows = []
+    for pair in pairs.values():
+        t, d = pair.target_arch, pair.draft_arch
+        rows.append([
+            t.name, f"{t.total_params/1e9:.0f}B", t.quant.value,
+            d.name, f"{d.total_params/1e9:.1f}B", d.quant.value,
+            f"{pair.acceptance:.2%}" + ("" if pair.measured else " (est.)"),
+        ])
+    return format_table(
+        ["Target", "Size", "Quant", "Speculative", "Size", "Quant", "Acceptance"],
+        rows, title=title,
+    )
+
+
+def table_testbeds() -> str:
+    rows = []
+    for cluster in (cluster_a(), cluster_b(), cluster_c(), gpu_testbed()):
+        names = sorted({n.name for n in cluster.nodes})
+        rows.append([
+            cluster.name, cluster.size, " + ".join(names),
+            cluster.link_spec.name,
+        ])
+    return format_table(
+        ["Cluster", "Max nodes", "Nodes", "Interconnect"],
+        rows, title="Tables II & IV — hardware testbeds",
+    )
+
+
+def table_model_files() -> str:
+    """Model footprints from the cost model (install-planning aid)."""
+    rows = []
+    for key, arch in MODEL_ZOO.items():
+        cost = CostModel(arch)
+        rows.append([
+            key, arch.n_layers, arch.d_model,
+            f"{arch.total_params/1e9:.1f}B", arch.quant.value,
+            f"{cost.weights_bytes()/1e9:.1f} GB",
+        ])
+    return format_table(
+        ["key", "layers", "d_model", "params", "quant", "file size"],
+        rows, title="Model zoo footprints",
+    )
+
+
+def main() -> None:
+    print(table_pairs(CPU_PAIRS, "Table I — CPU-cluster model pairs"))
+    print()
+    print(table_pairs(GPU_PAIRS, "Table III — GPU-cluster model pairs"))
+    print()
+    print(table_testbeds())
+    print()
+    print(table_model_files())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Measurement: the paper's four evaluation metrics plus utilization.
+
+- generation speed (tokens/s, prompt processing excluded),
+- time-to-first-token (TTFT, from prompt-processing completion to the
+  first *accepted* token, excluding the token sampled from the prompt),
+- inter-token latency (ITL, mean gap between accepted tokens),
+- per-node memory consumption,
+- node busy-time utilization (Section I claims ~2x utilization).
+"""
+
+from repro.metrics.collectors import MetricsCollector, RunStats
+from repro.metrics.report import EngineReport, aggregate
+
+__all__ = ["MetricsCollector", "RunStats", "EngineReport", "aggregate"]

@@ -1,0 +1,135 @@
+"""Metric collection during a simulated (or functional) generation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class RunStats:
+    """Pipeline-run bookkeeping aggregated over one generation."""
+
+    dispatched: int = 0
+    speculative: int = 0
+    canonical: int = 0
+    completed: int = 0
+    cancelled_invalid: int = 0
+    cancelled_superfluous: int = 0
+    draft_tokens_proposed: int = 0
+    draft_tokens_accepted: int = 0
+    draft_tokens_checked: int = 0
+    cancel_signals_sent: int = 0
+    worker_layer_evals_skipped: int = 0
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Per-token acceptance over draft tokens the target examined.
+
+        The paper's Section V-B rates (79%, 66%, ...) are per-token:
+        tokens past a rejection were never checked and do not count.
+        """
+        if self.draft_tokens_checked == 0:
+            return 0.0
+        return self.draft_tokens_accepted / self.draft_tokens_checked
+
+    @property
+    def dispatch_efficiency(self) -> float:
+        """Fraction of *dispatched* draft tokens eventually accepted.
+
+        Lower than the acceptance rate under continuous speculation: deep
+        chained drafts are often invalidated before verification.
+        """
+        if self.draft_tokens_proposed == 0:
+            return 0.0
+        return self.draft_tokens_accepted / self.draft_tokens_proposed
+
+
+class MetricsCollector:
+    """Accumulates the timeline of one generation run.
+
+    The head node drives it: marks prompt-processing completion, records
+    each accepted token's simulated timestamp, and registers per-node busy
+    time reported by workers.
+    """
+
+    def __init__(self) -> None:
+        self.prefill_end: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        #: Timestamp per accepted token (excludes the prompt-end sample).
+        self.token_times: List[float] = []
+        self.stats = RunStats()
+        #: rank -> accumulated busy seconds.
+        self.busy_time: Dict[int, float] = {}
+        #: rank -> modeled resident memory in bytes.
+        self.node_memory: Dict[int, float] = {}
+
+    # -- timeline -----------------------------------------------------------
+
+    def mark_prefill_end(self, t: float) -> None:
+        self.prefill_end = t
+
+    def record_tokens(self, t: float, n: int) -> None:
+        """Record ``n`` tokens accepted at simulated time ``t``."""
+        self.token_times.extend([t] * n)
+
+    def mark_finish(self, t: float) -> None:
+        self.finish_time = t
+
+    def add_busy(self, rank: int, seconds: float) -> None:
+        self.busy_time[rank] = self.busy_time.get(rank, 0.0) + seconds
+
+    def set_node_memory(self, rank: int, nbytes: float) -> None:
+        self.node_memory[rank] = nbytes
+
+    # -- derived metrics ------------------------------------------------------
+
+    @property
+    def n_tokens(self) -> int:
+        return len(self.token_times)
+
+    def generation_speed(self) -> float:
+        """Accepted tokens per second, prompt processing excluded."""
+        if self.prefill_end is None or not self.token_times:
+            return 0.0
+        end = self.finish_time if self.finish_time is not None else self.token_times[-1]
+        elapsed = end - self.prefill_end
+        if elapsed <= 0:
+            return 0.0
+        return self.n_tokens / elapsed
+
+    def ttft(self) -> float:
+        """Seconds from prompt-processing completion to first acceptance."""
+        if self.prefill_end is None or not self.token_times:
+            return float("inf")
+        return self.token_times[0] - self.prefill_end
+
+    def itl(self) -> float:
+        """Mean inter-token gap over accepted tokens."""
+        if len(self.token_times) < 2:
+            return float("inf")
+        first, last = self.token_times[0], self.token_times[-1]
+        return (last - first) / (len(self.token_times) - 1)
+
+    def utilization(self, total_time: Optional[float] = None) -> float:
+        """Mean busy fraction across nodes that reported busy time."""
+        if not self.busy_time:
+            return 0.0
+        if total_time is None:
+            if self.prefill_end is None or self.finish_time is None:
+                return 0.0
+            total_time = self.finish_time - self.prefill_end
+        if total_time <= 0:
+            return 0.0
+        vals = [min(b / total_time, 1.0) for b in self.busy_time.values()]
+        return sum(vals) / len(vals)
+
+    def mean_node_memory(self) -> float:
+        if not self.node_memory:
+            return 0.0
+        return sum(self.node_memory.values()) / len(self.node_memory)
+
+    def max_node_memory(self) -> float:
+        if not self.node_memory:
+            return 0.0
+        return max(self.node_memory.values())

@@ -1,0 +1,75 @@
+"""Per-run reports and repetition aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import List, Sequence
+
+from repro.metrics.collectors import MetricsCollector, RunStats
+
+
+@dataclass
+class EngineReport:
+    """One generation run's headline numbers."""
+
+    strategy: str
+    n_nodes: int
+    tokens: List[int]
+    generation_speed: float
+    ttft: float
+    itl: float
+    acceptance_rate: float
+    utilization: float
+    mean_node_memory: float
+    max_node_memory: float
+    stats: RunStats
+
+    @classmethod
+    def from_collector(
+        cls,
+        strategy: str,
+        n_nodes: int,
+        tokens: Sequence[int],
+        metrics: MetricsCollector,
+    ) -> "EngineReport":
+        return cls(
+            strategy=strategy,
+            n_nodes=n_nodes,
+            tokens=list(tokens),
+            generation_speed=metrics.generation_speed(),
+            ttft=metrics.ttft(),
+            itl=metrics.itl(),
+            acceptance_rate=metrics.stats.acceptance_rate,
+            utilization=metrics.utilization(),
+            mean_node_memory=metrics.mean_node_memory(),
+            max_node_memory=metrics.max_node_memory(),
+            stats=metrics.stats,
+        )
+
+    def speed_per_gb(self) -> float:
+        """Figure 7a's memory-efficiency metric: tokens/s per mean GB."""
+        gb = self.mean_node_memory / 1e9
+        return self.generation_speed / gb if gb > 0 else 0.0
+
+
+def aggregate(reports: Sequence[EngineReport]) -> EngineReport:
+    """Average repeated runs of the same configuration (paper: 10 reps)."""
+    if not reports:
+        raise ValueError("nothing to aggregate")
+    first = reports[0]
+    if any(r.strategy != first.strategy or r.n_nodes != first.n_nodes for r in reports):
+        raise ValueError("aggregate() expects runs of one configuration")
+    return EngineReport(
+        strategy=first.strategy,
+        n_nodes=first.n_nodes,
+        tokens=first.tokens,
+        generation_speed=mean(r.generation_speed for r in reports),
+        ttft=mean(r.ttft for r in reports),
+        itl=mean(r.itl for r in reports),
+        acceptance_rate=mean(r.acceptance_rate for r in reports),
+        utilization=mean(r.utilization for r in reports),
+        mean_node_memory=mean(r.mean_node_memory for r in reports),
+        max_node_memory=mean(r.max_node_memory for r in reports),
+        stats=first.stats,
+    )

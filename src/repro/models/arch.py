@@ -1,0 +1,127 @@
+"""Transformer architecture descriptors.
+
+An :class:`ArchSpec` captures the shape parameters that determine inference
+cost: layer count, hidden width, attention heads (with grouped-query KV
+heads), feed-forward width, vocabulary, and the quantization format the
+paper ran the model in (Table I / III).  Parameter counts follow the
+standard Llama layer layout; Falcon's parallel-attention layout differs by
+a few percent, which is within the fidelity of the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.quant import Quant, bits_per_weight
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """Decoder-only transformer shape.
+
+    Attributes:
+        name: model name as used in the paper.
+        n_layers: decoder layer count.
+        d_model: hidden width.
+        n_heads: attention query heads.
+        n_kv_heads: key/value heads (``n_heads`` unless grouped-query).
+        d_ff: feed-forward inner width.
+        vocab: vocabulary size.
+        quant: weight quantization format.
+        n_experts: total experts for MoE models (1 = dense).
+        n_active_experts: experts evaluated per token (MoE routing).
+    """
+
+    name: str
+    n_layers: int
+    d_model: int
+    n_heads: int
+    n_kv_heads: int
+    d_ff: int
+    vocab: int
+    quant: Quant = Quant.F16
+    n_experts: int = 1
+    n_active_experts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_heads % self.n_kv_heads != 0:
+            raise ValueError("n_heads must be a multiple of n_kv_heads")
+        if self.n_active_experts > self.n_experts:
+            raise ValueError("cannot activate more experts than exist")
+
+    @property
+    def head_dim(self) -> int:
+        return self.d_model // self.n_heads
+
+    @property
+    def kv_dim(self) -> int:
+        """Width of the K (or V) projection output."""
+        return self.n_kv_heads * self.head_dim
+
+    # -- parameter accounting -------------------------------------------------
+
+    @property
+    def attn_params_per_layer(self) -> int:
+        """Q, K, V, O projection weights of one layer."""
+        d = self.d_model
+        return d * d + 2 * d * self.kv_dim + d * d
+
+    @property
+    def ffn_params_per_layer(self) -> int:
+        """SwiGLU feed-forward weights (gate, up, down) of one layer.
+
+        MoE models store ``n_experts`` copies but evaluate only
+        ``n_active_experts`` of them per token.
+        """
+        return 3 * self.d_model * self.d_ff * self.n_experts
+
+    @property
+    def ffn_active_params_per_layer(self) -> int:
+        """Feed-forward weights actually touched per token."""
+        return 3 * self.d_model * self.d_ff * self.n_active_experts
+
+    @property
+    def params_per_layer(self) -> int:
+        return self.attn_params_per_layer + self.ffn_params_per_layer
+
+    @property
+    def active_params_per_layer(self) -> int:
+        """Weights read from memory per token per layer (MoE-aware)."""
+        return self.attn_params_per_layer + self.ffn_active_params_per_layer
+
+    @property
+    def embedding_params(self) -> int:
+        """Input embedding plus output head (untied, as in Llama)."""
+        return 2 * self.vocab * self.d_model
+
+    @property
+    def total_params(self) -> int:
+        return self.n_layers * self.params_per_layer + self.embedding_params
+
+    # -- byte accounting -------------------------------------------------------
+
+    @property
+    def bytes_per_layer(self) -> float:
+        """Stored bytes of one layer's weights under the quantization."""
+        return self.params_per_layer * bits_per_weight(self.quant) / 8.0
+
+    @property
+    def active_bytes_per_layer(self) -> float:
+        """Weight bytes streamed from memory per token per layer."""
+        return self.active_params_per_layer * bits_per_weight(self.quant) / 8.0
+
+    @property
+    def total_bytes(self) -> float:
+        """Model file size estimate in bytes."""
+        return self.total_params * bits_per_weight(self.quant) / 8.0
+
+    @property
+    def kv_bytes_per_token_per_layer(self) -> float:
+        """KV-cache growth per token per layer (f16 K and V)."""
+        return 2 * self.kv_dim * 2.0
+
+    def flops_per_token_per_layer(self, context: int = 512) -> float:
+        """Arithmetic per token per layer: 2 FLOPs/weight + attention scores."""
+        weight_flops = 2.0 * self.active_params_per_layer
+        attn_flops = 2.0 * 2.0 * context * self.head_dim * self.n_heads
+        return weight_flops + attn_flops

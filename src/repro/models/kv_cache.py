@@ -1,0 +1,221 @@
+"""llama.cpp-style KV cache with per-cell sequence metadata.
+
+Each cache cell stores a token position and the *set of sequence ids* the
+entry belongs to (paper Section II-B).  Sequence-level operations
+(`seq_cp`, `seq_rm`) manipulate only this metadata: copying a range of
+cells from one sequence to another adds the destination id to the cells'
+sets — the actual K/V tensors are shared, which is why the paper's
+"buffer swap" between a speculative partition and the canonical sequence
+is near-free.
+
+The cache is used at two fidelity levels:
+
+- metadata-only (``n_layers=0``): the cluster simulation tracks cell
+  occupancy and sequence structure without tensors;
+- tensor-backed: the functional transformer stores real K/V arrays per
+  layer and builds attention masks from the metadata.
+
+A cell is free when its sequence set is empty.  Attention visibility for a
+query (seq, pos) is: cell carries ``seq`` and ``cell.pos < pos`` (strictly
+earlier positions; the query token's own cell is written during the same
+forward but tokens do not attend to themselves ahead of their position).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+
+class KVCacheError(RuntimeError):
+    """Raised on cache misuse: overflow, overwriting live cells, bad ranges."""
+
+
+class KVCache:
+    """Fixed-capacity KV cache with sequence metadata.
+
+    Args:
+        n_cells: total cell capacity.
+        n_layers: number of layers storing tensors (0 = metadata only).
+        kv_dim: width of one K (or V) vector when tensor-backed.
+        dtype: tensor dtype for the K/V store.
+    """
+
+    def __init__(
+        self,
+        n_cells: int,
+        n_layers: int = 0,
+        kv_dim: int = 0,
+        dtype: np.dtype = np.float32,
+    ) -> None:
+        if n_cells <= 0:
+            raise ValueError("n_cells must be positive")
+        self.n_cells = n_cells
+        self.n_layers = n_layers
+        self.kv_dim = kv_dim
+        #: cell -> position (-1 when free).
+        self.pos = np.full(n_cells, -1, dtype=np.int64)
+        #: cell -> set of sequence ids.
+        self.seqs: List[Set[int]] = [set() for _ in range(n_cells)]
+        if n_layers > 0:
+            if kv_dim <= 0:
+                raise ValueError("tensor-backed cache needs kv_dim > 0")
+            self.k = np.zeros((n_layers, n_cells, kv_dim), dtype=dtype)
+            self.v = np.zeros((n_layers, n_cells, kv_dim), dtype=dtype)
+        else:
+            self.k = None
+            self.v = None
+
+    # -- allocation ------------------------------------------------------------
+
+    @property
+    def n_used(self) -> int:
+        return int(np.count_nonzero(self.pos >= 0))
+
+    @property
+    def n_free(self) -> int:
+        return self.n_cells - self.n_used
+
+    def allocate(self, entries: Sequence[Tuple[int, Iterable[int]]]) -> List[int]:
+        """Allocate one cell per (pos, seq_ids) entry; returns cell indices.
+
+        All layers of a decode batch share these indices (each layer writes
+        its own K/V row at the same cell), mirroring llama.cpp's slot
+        allocation per ``llama_decode``.
+
+        Raises:
+            KVCacheError: when the cache is full.
+        """
+        free = np.flatnonzero(self.pos < 0)
+        if len(free) < len(entries):
+            raise KVCacheError(
+                f"cache overflow: need {len(entries)} cells, {len(free)} free"
+            )
+        cells = []
+        for (p, seq_ids), cell in zip(entries, free):
+            cell = int(cell)
+            seq_ids = set(seq_ids)
+            if not seq_ids:
+                raise KVCacheError("a cell must belong to at least one sequence")
+            if p < 0:
+                raise KVCacheError(f"invalid position {p}")
+            self.pos[cell] = p
+            self.seqs[cell] = seq_ids
+            cells.append(cell)
+        return cells
+
+    def write(self, layer: int, cells: Sequence[int], k: np.ndarray, v: np.ndarray) -> None:
+        """Store K/V rows for ``cells`` at ``layer`` (tensor-backed only)."""
+        if self.k is None:
+            raise KVCacheError("metadata-only cache cannot store tensors")
+        self.k[layer, list(cells)] = k
+        self.v[layer, list(cells)] = v
+
+    # -- sequence operations -----------------------------------------------------
+
+    def seq_cp(self, seq_src: int, seq_dst: int, p0: int, p1: int) -> int:
+        """Add ``seq_dst`` to cells of ``seq_src`` with p0 <= pos < p1.
+
+        Returns the number of cells affected.  Metadata-only: K/V tensors
+        are shared between the sequences afterwards.
+        """
+        self._check_range(p0, p1)
+        if seq_src == seq_dst:
+            return 0
+        n = 0
+        for cell in self._cells_of(seq_src, p0, p1):
+            self.seqs[cell].add(seq_dst)
+            n += 1
+        return n
+
+    def seq_rm(self, seq: int, p0: int, p1: int) -> int:
+        """Remove ``seq`` from cells with p0 <= pos < p1; free emptied cells."""
+        self._check_range(p0, p1)
+        n = 0
+        for cell in self._cells_of(seq, p0, p1):
+            self.seqs[cell].discard(seq)
+            if not self.seqs[cell]:
+                self.pos[cell] = -1
+            n += 1
+        return n
+
+    def seq_keep(self, seq: int) -> int:
+        """Drop every sequence except ``seq``; free cells not in it."""
+        n = 0
+        for cell in range(self.n_cells):
+            if self.pos[cell] < 0:
+                continue
+            if seq in self.seqs[cell]:
+                self.seqs[cell] = {seq}
+            else:
+                self.seqs[cell] = set()
+                self.pos[cell] = -1
+                n += 1
+        return n
+
+    def seq_broadcast(self, seq_src: int, p0: int, p1: int, targets: Iterable[int]) -> int:
+        """Copy ``seq_src``'s cells in range into every sequence in ``targets``.
+
+        Implements acceptance propagation (Section IV-C2): accepted entries
+        are copied to all other sequences so new runs find correct context.
+        """
+        n = 0
+        for dst in targets:
+            n += self.seq_cp(seq_src, dst, p0, p1)
+        return n
+
+    # -- queries ---------------------------------------------------------------
+
+    def seq_max_pos(self, seq: int) -> int:
+        """Highest position stored for ``seq``, or -1 when empty."""
+        best = -1
+        for cell in range(self.n_cells):
+            if self.pos[cell] >= 0 and seq in self.seqs[cell] and self.pos[cell] > best:
+                best = int(self.pos[cell])
+        return best
+
+    def seq_cells(self, seq: int) -> List[int]:
+        """Cells belonging to ``seq``, sorted by position."""
+        cells = [c for c in range(self.n_cells) if self.pos[c] >= 0 and seq in self.seqs[c]]
+        return sorted(cells, key=lambda c: int(self.pos[c]))
+
+    def seq_positions(self, seq: int) -> List[int]:
+        """Sorted positions stored for ``seq``."""
+        return [int(self.pos[c]) for c in self.seq_cells(seq)]
+
+    def visible_cells(self, seq: int, pos: int, inclusive: bool = True) -> np.ndarray:
+        """Cell indices visible to a query at (seq, pos).
+
+        A cell is visible when it belongs to ``seq`` and sits at an earlier
+        position; with ``inclusive`` (the default, matching causal
+        self-attention) the query's own position is visible too.
+        """
+        mask = self.pos >= 0
+        if inclusive:
+            idx = np.flatnonzero(mask & (self.pos <= pos))
+        else:
+            idx = np.flatnonzero(mask & (self.pos < pos))
+        return np.array([c for c in idx if seq in self.seqs[c]], dtype=np.int64)
+
+    def has_entry(self, seq: int, pos: int) -> bool:
+        """True when ``seq`` already holds a cell at position ``pos``."""
+        idx = np.flatnonzero(self.pos == pos)
+        return any(seq in self.seqs[c] for c in idx)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _cells_of(self, seq: int, p0: int, p1: int) -> List[int]:
+        out = []
+        for cell in np.flatnonzero((self.pos >= p0) & (self.pos < p1)):
+            if seq in self.seqs[int(cell)]:
+                out.append(int(cell))
+        return out
+
+    @staticmethod
+    def _check_range(p0: int, p1: int) -> None:
+        if p0 < 0 or p1 < p0:
+            raise KVCacheError(f"invalid position range [{p0}, {p1})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KVCache(cells={self.n_cells}, used={self.n_used}, layers={self.n_layers})"

@@ -1,0 +1,90 @@
+"""Transformer layer math: RMSNorm, RoPE, softmax, SwiGLU.
+
+Pure NumPy, vectorized over the (tiny) decode batches the engines use.
+Shapes follow the convention ``(n_tokens, ...)`` with attention heads as an
+explicit axis: ``(n_tokens, n_heads, head_dim)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rms_norm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Root-mean-square layer norm (Llama-style, no mean subtraction)."""
+    scale = 1.0 / np.sqrt(np.mean(np.square(x), axis=-1, keepdims=True) + eps)
+    return x * scale * weight
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """Sigmoid-weighted linear unit."""
+    return x / (1.0 + np.exp(-x))
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def rope_frequencies(head_dim: int, base: float = 10000.0) -> np.ndarray:
+    """Per-pair rotation frequencies for rotary position embedding."""
+    if head_dim % 2 != 0:
+        raise ValueError("head_dim must be even for RoPE")
+    return base ** (-np.arange(0, head_dim, 2, dtype=np.float64) / head_dim)
+
+
+def apply_rope(x: np.ndarray, positions: np.ndarray, freqs: np.ndarray) -> np.ndarray:
+    """Rotate ``x`` of shape (n, heads, head_dim) by per-token positions.
+
+    Rotary embedding encodes *absolute* position by rotating consecutive
+    channel pairs; relative offsets fall out of the attention dot product.
+    Tokens in a speculative batch carry non-contiguous positions, so the
+    rotation is applied per token from ``positions``.
+    """
+    n, n_heads, head_dim = x.shape
+    angles = positions[:, None].astype(np.float64) * freqs[None, :]  # (n, hd/2)
+    cos = np.cos(angles)[:, None, :]  # (n, 1, hd/2)
+    sin = np.sin(angles)[:, None, :]
+    x1 = x[..., 0::2]
+    x2 = x[..., 1::2]
+    out = np.empty_like(x)
+    out[..., 0::2] = x1 * cos - x2 * sin
+    out[..., 1::2] = x1 * sin + x2 * cos
+    return out
+
+
+def swiglu(x: np.ndarray, w_gate: np.ndarray, w_up: np.ndarray, w_down: np.ndarray) -> np.ndarray:
+    """SwiGLU feed-forward: ``silu(x @ Wg) * (x @ Wu) @ Wd``."""
+    return (silu(x @ w_gate) * (x @ w_up)) @ w_down
+
+
+def grouped_attention(
+    q: np.ndarray,
+    k_cells: np.ndarray,
+    v_cells: np.ndarray,
+    n_kv_heads: int,
+) -> np.ndarray:
+    """Single-query attention over gathered cache cells.
+
+    Args:
+        q: (n_heads, head_dim) query for one token.
+        k_cells: (n_cells, kv_dim) gathered keys (already rotated).
+        v_cells: (n_cells, kv_dim) gathered values.
+        n_kv_heads: KV head count; query heads are grouped onto them.
+
+    Returns:
+        (n_heads, head_dim) attention output for the token.
+    """
+    n_heads, head_dim = q.shape
+    group = n_heads // n_kv_heads
+    n_cells = k_cells.shape[0]
+    k = k_cells.reshape(n_cells, n_kv_heads, head_dim)
+    v = v_cells.reshape(n_cells, n_kv_heads, head_dim)
+    # Broadcast each KV head to its query-head group.
+    k = np.repeat(k, group, axis=1)  # (cells, heads, hd)
+    v = np.repeat(v, group, axis=1)
+    scores = np.einsum("hd,chd->hc", q, k) / np.sqrt(head_dim)
+    weights = softmax(scores, axis=-1)
+    return np.einsum("hc,chd->hd", weights, v)

@@ -1,0 +1,200 @@
+"""Alignment-calibrated oracle language models.
+
+The cluster-scale experiments cannot run real 70B–180B weights, but the
+engines' control flow only consumes two things from a model: *which token
+is the target's greedy choice at each position* and *how often the draft's
+choice matches it*.  An :class:`OracleLM` provides exactly that, as a pure
+function of the token prefix via keyed hashing (:mod:`repro.util.rng`):
+
+- the target's next token for a prefix is a deterministic hash draw;
+- a draft oracle built by :func:`make_aligned_pair` agrees with its target
+  on a given prefix with probability ``acceptance`` (an independent hash
+  coin per prefix), reproducing the paper's measured per-token acceptance
+  rates (79%, 66%, 52%, 61%, 68.7%, 69.5% — Section V-B);
+- draft confidences are hash draws lightly correlated with agreement, so
+  the confidence-cutoff machinery has realistic signal.
+
+Statelessness matters: the head node re-drafts from corrected prefixes
+after a rejection, and a stateful generator would desynchronize.  For O(1)
+message payloads the oracle exposes an *incremental state* (the rolling
+hash), which :class:`~repro.comm.payloads.DecodeMeta` carries per slot so
+the last pipeline rank can materialize logits without the full prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.util.rng import hash_tokens, splitmix64, unit_float
+
+_SALT_TOKEN = 0x1
+_SALT_AGREE = 0x2
+_SALT_CONF = 0x3
+_SALT_ALT = 0x4
+
+
+@dataclass(frozen=True)
+class OracleLogits:
+    """Sparse stand-in for a logits vector: the greedy token and its prob.
+
+    Satisfies everything greedy sampling and SpecInfer verification need in
+    performance mode; dense arrays are used in functional mode.
+    """
+
+    top_token: int
+    top_prob: float
+
+
+class OracleLM:
+    """A deterministic pseudo language model over hashed prefixes."""
+
+    def __init__(self, seed: int, vocab: int = 32000) -> None:
+        if vocab < 4:
+            raise ValueError("vocab too small for distinct alternatives")
+        self.seed = seed
+        self.vocab = vocab
+
+    # -- incremental state ----------------------------------------------------
+
+    def init_state(self, prefix: Sequence[int] = ()) -> int:
+        """Rolling-hash state after consuming ``prefix``."""
+        return hash_tokens(self.seed, prefix, salt=_SALT_TOKEN)
+
+    def advance(self, state: int, token: int) -> int:
+        """State after consuming one more token."""
+        return splitmix64(state ^ (token & ((1 << 64) - 1)))
+
+    # -- target behaviour -------------------------------------------------------
+
+    def next_token_from_state(self, state: int) -> int:
+        """The greedy (argmax) next token for the given prefix state."""
+        return splitmix64(state ^ 0xA5A5) % self.vocab
+
+    def next_token(self, prefix: Sequence[int]) -> int:
+        return self.next_token_from_state(self.init_state(prefix))
+
+    def logits_from_state(self, state: int) -> OracleLogits:
+        """Sparse greedy logits for the prefix state."""
+        tok = self.next_token_from_state(state)
+        prob = 0.5 + 0.5 * unit_float(splitmix64(state ^ _SALT_CONF))
+        return OracleLogits(top_token=tok, top_prob=prob)
+
+    def logits(self, prefix: Sequence[int]) -> OracleLogits:
+        return self.logits_from_state(self.init_state(prefix))
+
+
+class DraftOracle:
+    """A draft model whose greedy choice matches a target at a fixed rate.
+
+    Agreement is decided by an independent hash coin per prefix, so the
+    measured per-token acceptance over any long run converges to
+    ``acceptance`` (law of large numbers; the property tests check this).
+    """
+
+    def __init__(self, target: OracleLM, acceptance: float, seed: int = 17) -> None:
+        if not 0.0 <= acceptance <= 1.0:
+            raise ValueError("acceptance must be within [0, 1]")
+        self.target = target
+        self.acceptance = acceptance
+        self.seed = seed
+        self.vocab = target.vocab
+
+    def init_state(self, prefix: Sequence[int] = ()) -> int:
+        return self.target.init_state(prefix)
+
+    def advance(self, state: int, token: int) -> int:
+        return self.target.advance(state, token)
+
+    def _agrees(self, state: int) -> bool:
+        u = unit_float(splitmix64(state ^ (self.seed * 0x9E37) ^ _SALT_AGREE))
+        return u < self.acceptance
+
+    def next_token_from_state(self, state: int) -> int:
+        """The draft's greedy proposal for the prefix state."""
+        truth = self.target.next_token_from_state(state)
+        if self._agrees(state):
+            return truth
+        # A deterministic wrong answer, guaranteed different from the truth.
+        alt = splitmix64(state ^ (self.seed * 0x85EB) ^ _SALT_ALT) % self.vocab
+        if alt == truth:
+            alt = (alt + 1) % self.vocab
+        return alt
+
+    def next_token(self, prefix: Sequence[int]) -> int:
+        return self.next_token_from_state(self.init_state(prefix))
+
+    #: Confidence distributions: agreeing proposals draw uniform over
+    #: [AGREE_LO, 1), disagreeing ones over [DIS_LO, DIS_HI).  Confidence
+    #: is informative — real draft models are more confident when right —
+    #: which is what makes the confidence-cutoff machinery effective.
+    AGREE_LO = 0.50
+    DIS_LO = 0.10
+    DIS_HI = 0.90
+
+    def confidence_from_state(self, state: int) -> float:
+        """Draft self-confidence in [0, 1), correlated with agreement."""
+        u = unit_float(splitmix64(state ^ (self.seed * 0xC2B2) ^ _SALT_CONF))
+        if self._agrees(state):
+            return self.AGREE_LO + (1.0 - self.AGREE_LO) * u
+        return self.DIS_LO + (self.DIS_HI - self.DIS_LO) * u
+
+    def confidence(self, prefix: Sequence[int]) -> float:
+        return self.confidence_from_state(self.init_state(prefix))
+
+
+def pass_probabilities(cutoff: float) -> Tuple[float, float]:
+    """P(confidence >= cutoff) for agreeing and disagreeing proposals."""
+
+    def clamp01(x: float) -> float:
+        return min(max(x, 0.0), 1.0)
+
+    p_agree = clamp01((1.0 - cutoff) / (1.0 - DraftOracle.AGREE_LO))
+    p_dis = clamp01((DraftOracle.DIS_HI - cutoff) / (DraftOracle.DIS_HI - DraftOracle.DIS_LO))
+    return p_agree, p_dis
+
+
+def calibrate_agreement(measured_acceptance: float, cutoff: float) -> float:
+    """Raw agreement rate that yields the target *measured* acceptance.
+
+    The paper's reported acceptance rates are measured over tokens that
+    passed the confidence cutoff; since confidence correlates with
+    agreement, the cutoff enriches dispatched tokens.  Inverting Bayes:
+
+        measured = a * Pa / (a * Pa + (1 - a) * Pd)
+        =>  a = measured * Pd / (Pa * (1 - measured) + measured * Pd)
+
+    where Pa, Pd are the cutoff pass probabilities of agreeing and
+    disagreeing proposals.
+    """
+    if not 0.0 < measured_acceptance < 1.0:
+        return measured_acceptance
+    p_agree, p_dis = pass_probabilities(cutoff)
+    if p_agree <= 0.0:
+        return measured_acceptance
+    num = measured_acceptance * p_dis
+    den = p_agree * (1.0 - measured_acceptance) + measured_acceptance * p_dis
+    if den <= 0.0:
+        return measured_acceptance
+    return num / den
+
+
+def make_aligned_pair(
+    acceptance: float,
+    seed: int = 0,
+    vocab: int = 32000,
+    cutoff: Optional[float] = None,
+) -> Tuple[OracleLM, DraftOracle]:
+    """Build a (target, draft) oracle pair.
+
+    Args:
+        acceptance: target *measured* per-token acceptance rate.
+        cutoff: when given, the raw agreement is Bayes-calibrated so that
+            tokens passing this confidence cutoff are accepted at the
+            requested rate (matching how the paper's rates were measured);
+            when None, ``acceptance`` is used as the raw agreement rate.
+    """
+    raw = acceptance if cutoff is None else calibrate_agreement(acceptance, cutoff)
+    target = OracleLM(seed=seed, vocab=vocab)
+    draft = DraftOracle(target, acceptance=raw, seed=seed + 101)
+    return target, draft

@@ -1,0 +1,41 @@
+"""llama.cpp quantization formats.
+
+Effective bits-per-weight figures are derived from published GGUF file
+sizes (file bytes x 8 / parameter count), which fold in the per-block
+scales and the unquantized norm/embedding tensors — the quantity that
+matters for the memory-bandwidth cost model.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Quant(str, enum.Enum):
+    """Quantization formats appearing in Tables I and III."""
+
+    Q2_K = "Q2_K"
+    Q3_K_M = "Q3_K_M"
+    Q4_K_M = "Q4_K_M"
+    Q5_K = "Q5_K"
+    Q6_K = "Q6_K"
+    Q8_0 = "Q8_0"
+    F16 = "F16"
+    F32 = "F32"
+
+
+_BITS_PER_WEIGHT: dict[Quant, float] = {
+    Quant.Q2_K: 3.40,
+    Quant.Q3_K_M: 3.90,
+    Quant.Q4_K_M: 4.85,
+    Quant.Q5_K: 5.65,
+    Quant.Q6_K: 6.60,
+    Quant.Q8_0: 8.50,
+    Quant.F16: 16.0,
+    Quant.F32: 32.0,
+}
+
+
+def bits_per_weight(quant: Quant) -> float:
+    """Effective stored bits per parameter for ``quant``."""
+    return _BITS_PER_WEIGHT[Quant(quant)]

@@ -1,0 +1,152 @@
+"""Interval-based KV cache metadata for the cluster simulation.
+
+Performance-mode workers must execute the same cache-operation stream as
+the functional engine (the multibuffering protocol is part of what is
+being timed and validated), but holding a per-cell set for thousands of
+positions per node would dominate simulation cost.  ``RangeKVCache``
+stores, per sequence, a merged interval set of positions — cache ops
+(`seq_cp`, `seq_rm`) become interval arithmetic with identical observable
+semantics to :class:`~repro.models.kv_cache.KVCache` metadata, which a
+differential property test asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+
+class IntervalSet:
+    """A sorted set of disjoint half-open integer intervals [lo, hi)."""
+
+    __slots__ = ("_ivals",)
+
+    def __init__(self, ivals: Iterable[Tuple[int, int]] = ()) -> None:
+        self._ivals: List[Tuple[int, int]] = []
+        for lo, hi in ivals:
+            self.add(lo, hi)
+
+    def add(self, lo: int, hi: int) -> None:
+        """Insert [lo, hi), merging with touching or overlapping intervals."""
+        if hi <= lo:
+            return
+        out: List[Tuple[int, int]] = []
+        placed = False
+        for a, b in self._ivals:
+            if b < lo or a > hi:
+                if a > hi and not placed:
+                    out.append((lo, hi))
+                    placed = True
+                out.append((a, b))
+            else:
+                lo, hi = min(lo, a), max(hi, b)
+        if not placed:
+            out.append((lo, hi))
+        out.sort()
+        self._ivals = out
+
+    def remove(self, lo: int, hi: int) -> None:
+        """Delete [lo, hi) from the set."""
+        if hi <= lo:
+            return
+        out: List[Tuple[int, int]] = []
+        for a, b in self._ivals:
+            if b <= lo or a >= hi:
+                out.append((a, b))
+                continue
+            if a < lo:
+                out.append((a, lo))
+            if b > hi:
+                out.append((hi, b))
+        self._ivals = out
+
+    def clip(self, lo: int, hi: int) -> "IntervalSet":
+        """The subset intersecting [lo, hi)."""
+        out = IntervalSet()
+        for a, b in self._ivals:
+            a2, b2 = max(a, lo), min(b, hi)
+            if a2 < b2:
+                out.add(a2, b2)
+        return out
+
+    def union_into(self, other: "IntervalSet") -> None:
+        for a, b in self._ivals:
+            other.add(a, b)
+
+    def __contains__(self, pos: int) -> bool:
+        return any(a <= pos < b for a, b in self._ivals)
+
+    def __len__(self) -> int:
+        return sum(b - a for a, b in self._ivals)
+
+    def max_value(self) -> int:
+        """Largest contained integer, or -1 when empty."""
+        return self._ivals[-1][1] - 1 if self._ivals else -1
+
+    def positions(self) -> List[int]:
+        return [p for a, b in self._ivals for p in range(a, b)]
+
+    def intervals(self) -> List[Tuple[int, int]]:
+        return list(self._ivals)
+
+    def __bool__(self) -> bool:
+        return bool(self._ivals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IntervalSet({self._ivals!r})"
+
+
+class RangeKVCache:
+    """Sequence-indexed interval metadata with KVCache-compatible ops."""
+
+    def __init__(self, n_cells: int = 1 << 30) -> None:
+        self.n_cells = n_cells
+        self._seqs: Dict[int, IntervalSet] = {}
+
+    def _seq(self, seq: int) -> IntervalSet:
+        found = self._seqs.get(seq)
+        if found is None:
+            found = IntervalSet()
+            self._seqs[seq] = found
+        return found
+
+    def add_tokens(self, seq: int, positions: Iterable[int]) -> None:
+        """Record freshly-written cells for ``seq`` at ``positions``."""
+        s = self._seq(seq)
+        for p in positions:
+            s.add(p, p + 1)
+
+    def seq_cp(self, seq_src: int, seq_dst: int, p0: int, p1: int) -> int:
+        """Copy ``seq_src``'s entries in [p0, p1) into ``seq_dst``."""
+        if seq_src == seq_dst:
+            return 0
+        clip = self._seq(seq_src).clip(p0, p1)
+        clip.union_into(self._seq(seq_dst))
+        return len(clip)
+
+    def seq_rm(self, seq: int, p0: int, p1: int) -> int:
+        """Drop ``seq``'s entries in [p0, p1)."""
+        s = self._seq(seq)
+        before = len(s)
+        s.remove(p0, p1)
+        return before - len(s)
+
+    def seq_broadcast(self, seq_src: int, p0: int, p1: int, targets: Iterable[int]) -> int:
+        n = 0
+        for dst in targets:
+            n += self.seq_cp(seq_src, dst, p0, p1)
+        return n
+
+    # -- queries (KVCache-compatible) ---------------------------------------
+
+    def seq_max_pos(self, seq: int) -> int:
+        return self._seq(seq).max_value()
+
+    def seq_positions(self, seq: int) -> List[int]:
+        return self._seq(seq).positions()
+
+    def has_entry(self, seq: int, pos: int) -> bool:
+        return pos in self._seq(seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        live = {s: iv.intervals() for s, iv in self._seqs.items() if iv}
+        return f"RangeKVCache({live!r})"

@@ -1,0 +1,61 @@
+"""Token sampling.
+
+The paper uses greedy sampling throughout so that all inference strategies
+produce byte-identical output (Section V-A); greedy is therefore the load-
+bearing path here.  Temperature sampling is provided for the examples and
+to exercise the stochastic branch of SpecInfer verification.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.models.oracle import OracleLogits
+
+LogitsLike = Union[np.ndarray, OracleLogits]
+
+
+def argmax_token(logits: LogitsLike) -> int:
+    """The greedy token for dense logits or an oracle's sparse logits."""
+    if isinstance(logits, OracleLogits):
+        return logits.top_token
+    return int(np.argmax(logits))
+
+
+def top_prob(logits: LogitsLike) -> float:
+    """Probability of the greedy token under softmax."""
+    if isinstance(logits, OracleLogits):
+        return logits.top_prob
+    shifted = logits - np.max(logits)
+    probs = np.exp(shifted)
+    probs /= probs.sum()
+    return float(probs.max())
+
+
+def greedy_sample(logits: LogitsLike) -> int:
+    """Deterministic argmax sampling (the paper's evaluation setting)."""
+    return argmax_token(logits)
+
+
+def temperature_sample(
+    logits: np.ndarray, temperature: float, rng: np.random.Generator
+) -> int:
+    """Sample from softmax(logits / T).  Requires dense logits."""
+    if isinstance(logits, OracleLogits):
+        raise TypeError("temperature sampling needs dense logits")
+    if temperature <= 0:
+        return argmax_token(logits)
+    scaled = logits / temperature
+    shifted = scaled - np.max(scaled)
+    probs = np.exp(shifted)
+    probs /= probs.sum()
+    return int(rng.choice(len(probs), p=probs))
+
+
+def softmax_probs(logits: np.ndarray) -> np.ndarray:
+    """Full softmax distribution for dense logits."""
+    shifted = logits - np.max(logits)
+    probs = np.exp(shifted)
+    return probs / probs.sum()

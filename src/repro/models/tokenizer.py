@@ -1,0 +1,55 @@
+"""A toy deterministic tokenizer for the runnable examples.
+
+Word-and-punctuation splitting with a stable hash-bucket vocabulary: the
+same text always maps to the same ids, round-trips through a reverse map
+built on the fly, and needs no external vocabulary files.  Adequate for
+demonstrating the inference API; the experiments use synthetic token
+streams directly.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.util.rng import hash_tokens
+
+_WORD_RE = re.compile(r"\w+|[^\w\s]")
+
+
+class ToyTokenizer:
+    """Deterministic hash-bucket tokenizer."""
+
+    def __init__(self, vocab: int = 32000, reserved: int = 16) -> None:
+        if vocab <= reserved:
+            raise ValueError("vocab must exceed the reserved id range")
+        self.vocab = vocab
+        self.reserved = reserved
+        self._decode: Dict[int, str] = {}
+
+    @property
+    def bos(self) -> int:
+        return 1
+
+    @property
+    def eos(self) -> int:
+        return 2
+
+    def encode(self, text: str, add_bos: bool = True) -> List[int]:
+        """Tokenize ``text``; remembers the pieces for decoding."""
+        ids: List[int] = [self.bos] if add_bos else []
+        for piece in _WORD_RE.findall(text):
+            h = hash_tokens(0xBEEF, piece.encode("utf-8"))
+            tid = self.reserved + h % (self.vocab - self.reserved)
+            self._decode.setdefault(tid, piece)
+            ids.append(tid)
+        return ids
+
+    def decode(self, ids: List[int]) -> str:
+        """Best-effort detokenization (unknown ids render as ⟨id⟩)."""
+        pieces = []
+        for tid in ids:
+            if tid == self.bos or tid == self.eos:
+                continue
+            pieces.append(self._decode.get(tid, f"<{tid}>"))
+        return " ".join(pieces)

@@ -1,0 +1,201 @@
+"""A real (tiny) decoder-only transformer in NumPy.
+
+Architecturally a faithful miniature of the Llama family: RMSNorm ->
+grouped-query attention with RoPE -> residual -> RMSNorm -> SwiGLU ->
+residual, untied embedding and output head.  Weights are deterministic
+random draws from a seed, so a "model" is reproducible from its config.
+
+The forward pass is *stage-sliced* for pipeline parallelism: a pipeline
+rank evaluates ``forward_stage`` over its layer range against its own KV
+cache shard, exactly like a llama.cpp MPI worker.  Batches are lists of
+:class:`~repro.comm.payloads.TokenSlot`, which carry per-token positions
+and KV sequence assignments — the substrate for speculative tree
+verification and KV multibuffering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.comm.payloads import TokenSlot
+from repro.models.kv_cache import KVCache
+from repro.models.layers import (
+    apply_rope,
+    grouped_attention,
+    rms_norm,
+    rope_frequencies,
+    swiglu,
+)
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Shape and seed of a tiny functional transformer."""
+
+    vocab: int = 256
+    d_model: int = 64
+    n_layers: int = 4
+    n_heads: int = 4
+    n_kv_heads: int = 2
+    d_ff: int = 172
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.n_heads != 0:
+            raise ValueError("d_model must divide evenly into heads")
+        if self.n_heads % self.n_kv_heads != 0:
+            raise ValueError("n_heads must be a multiple of n_kv_heads")
+        if (self.d_model // self.n_heads) % 2 != 0:
+            raise ValueError("head_dim must be even (RoPE)")
+
+    @property
+    def head_dim(self) -> int:
+        return self.d_model // self.n_heads
+
+    @property
+    def kv_dim(self) -> int:
+        return self.n_kv_heads * self.head_dim
+
+
+class _LayerWeights:
+    """One decoder layer's parameters."""
+
+    __slots__ = ("wq", "wk", "wv", "wo", "w_gate", "w_up", "w_down",
+                 "attn_norm", "ffn_norm")
+
+    def __init__(self, cfg: TransformerConfig, rng: np.random.Generator) -> None:
+        d, kv, ff = cfg.d_model, cfg.kv_dim, cfg.d_ff
+        s = 1.0 / np.sqrt(d)
+        self.wq = rng.normal(0.0, s, (d, d))
+        self.wk = rng.normal(0.0, s, (d, kv))
+        self.wv = rng.normal(0.0, s, (d, kv))
+        self.wo = rng.normal(0.0, s / np.sqrt(2 * cfg.n_layers), (d, d))
+        self.w_gate = rng.normal(0.0, s, (d, ff))
+        self.w_up = rng.normal(0.0, s, (d, ff))
+        self.w_down = rng.normal(0.0, 1.0 / np.sqrt(ff) / np.sqrt(2 * cfg.n_layers), (ff, d))
+        self.attn_norm = np.ones(d)
+        self.ffn_norm = np.ones(d)
+
+
+class TinyTransformer:
+    """Deterministic NumPy decoder-only transformer."""
+
+    def __init__(self, cfg: TransformerConfig) -> None:
+        self.cfg = cfg
+        rng = np.random.default_rng(cfg.seed)
+        d = cfg.d_model
+        self.embedding = rng.normal(0.0, 1.0, (cfg.vocab, d))
+        self.layers = [_LayerWeights(cfg, rng) for _ in range(cfg.n_layers)]
+        self.final_norm = np.ones(d)
+        self.lm_head = rng.normal(0.0, 1.0 / np.sqrt(d), (d, cfg.vocab))
+        self._freqs = rope_frequencies(cfg.head_dim)
+
+    # -- cache construction -------------------------------------------------------
+
+    def new_cache(self, n_cells: int, layer_range: Optional[tuple[int, int]] = None) -> KVCache:
+        """A tensor-backed cache shard for ``layer_range`` (default: all layers)."""
+        lo, hi = layer_range if layer_range is not None else (0, self.cfg.n_layers)
+        return KVCache(n_cells, n_layers=hi - lo, kv_dim=self.cfg.kv_dim)
+
+    # -- forward pieces (pipeline-stage API) ----------------------------------------
+
+    def embed(self, slots: Sequence[TokenSlot]) -> np.ndarray:
+        """Input embedding for a batch: shape (n_tokens, d_model)."""
+        tokens = [s.token for s in slots]
+        return self.embedding[tokens].copy()
+
+    def forward_stage(
+        self,
+        hidden: np.ndarray,
+        slots: Sequence[TokenSlot],
+        cache: KVCache,
+        layer_range: tuple[int, int],
+        cells: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Evaluate layers [lo, hi) for a batch against a cache shard.
+
+        Args:
+            hidden: (n_tokens, d_model) activations entering the stage.
+            slots: batch metadata; positions drive RoPE, seq ids drive the
+                attention mask via cache metadata.
+            cache: this stage's KV shard; must have ``hi - lo`` layers.
+            layer_range: global layer indices [lo, hi); the shard's local
+                layer index is ``layer - lo``.
+            cells: pre-allocated cache cells for this batch (one per slot).
+                Allocated here when omitted.
+
+        Returns:
+            (n_tokens, d_model) activations leaving the stage.
+        """
+        lo, hi = layer_range
+        if cache.n_layers != hi - lo:
+            raise ValueError(
+                f"cache shard has {cache.n_layers} layers, stage needs {hi - lo}"
+            )
+        cfg = self.cfg
+        positions = np.array([s.pos for s in slots], dtype=np.int64)
+        if cells is None:
+            cells = cache.allocate([(s.pos, set(s.seq_ids)) for s in slots])
+        h = hidden
+        for layer in range(lo, hi):
+            w = self.layers[layer]
+            local = layer - lo
+            x = rms_norm(h, w.attn_norm)
+            q = (x @ w.wq).reshape(len(slots), cfg.n_heads, cfg.head_dim)
+            k = (x @ w.wk).reshape(len(slots), cfg.n_kv_heads, cfg.head_dim)
+            v = x @ w.wv
+            q = apply_rope(q, positions, self._freqs)
+            k = apply_rope(k, positions, self._freqs)
+            cache.write(local, cells, k.reshape(len(slots), cfg.kv_dim), v)
+            attn_out = np.empty((len(slots), cfg.d_model))
+            for i, slot in enumerate(slots):
+                visible = cache.visible_cells(slot.primary_seq, slot.pos)
+                out = grouped_attention(
+                    q[i], cache.k[local, visible], cache.v[local, visible], cfg.n_kv_heads
+                )
+                attn_out[i] = out.reshape(cfg.d_model)
+            h = h + attn_out @ self.layers[layer].wo
+            x = rms_norm(h, w.ffn_norm)
+            h = h + swiglu(x, w.w_gate, w.w_up, w.w_down)
+        return h
+
+    def output(self, hidden: np.ndarray, want: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Final norm + LM head; ``want`` selects batch rows (default: all)."""
+        h = hidden if want is None else hidden[list(want)]
+        return rms_norm(h, self.final_norm) @ self.lm_head
+
+    # -- single-node convenience --------------------------------------------------
+
+    def decode(self, slots: Sequence[TokenSlot], cache: KVCache) -> np.ndarray:
+        """Full forward pass: logits for every slot with ``want_logits``."""
+        hidden = self.embed(slots)
+        hidden = self.forward_stage(hidden, slots, cache, (0, self.cfg.n_layers))
+        want = [i for i, s in enumerate(slots) if s.want_logits]
+        return self.output(hidden, want)
+
+
+def perturbed_copy(model: TinyTransformer, noise: float, seed: int = 1) -> TinyTransformer:
+    """A draft model derived from ``model`` by adding weight noise.
+
+    ``noise=0`` gives a perfectly aligned draft (acceptance 1 under greedy
+    decoding); increasing noise monotonically decreases alignment.  Used by
+    functional tests to exercise partial-acceptance paths with real logits.
+    """
+    draft = TinyTransformer(model.cfg)
+    rng = np.random.default_rng(seed)
+
+    def jitter(a: np.ndarray) -> np.ndarray:
+        return a + rng.normal(0.0, noise * (np.std(a) + 1e-9), a.shape)
+
+    draft.embedding = jitter(model.embedding)
+    draft.lm_head = jitter(model.lm_head)
+    draft.final_norm = model.final_norm.copy()
+    for dst, src in zip(draft.layers, model.layers):
+        for name in ("wq", "wk", "wv", "wo", "w_gate", "w_up", "w_down"):
+            setattr(dst, name, jitter(getattr(src, name)))
+        dst.attn_norm = src.attn_norm.copy()
+        dst.ffn_norm = src.ffn_norm.copy()
+    return draft

@@ -1,0 +1,5 @@
+"""Pipeline-parallel execution support: layer partitioning across ranks."""
+
+from repro.pipeline.partition import split_layers, partition_for
+
+__all__ = ["split_layers", "partition_for"]

@@ -1,0 +1,61 @@
+"""Layer partitioning across pipeline ranks.
+
+Layers are assigned proportionally to each node's effective matvec
+bandwidth (the quantity that determines per-layer time on bandwidth-bound
+inference), using the largest-remainder method so totals are exact.  On a
+homogeneous cluster this reduces to an even split; on the heterogeneous
+cluster B the slow Optiplexes receive proportionally fewer layers — the
+same tuning the paper performs by hand with llama.cpp's split ratios.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.cluster.hardware import NodeSpec
+
+
+def split_layers(n_layers: int, weights: Sequence[float]) -> List[Tuple[int, int]]:
+    """Split ``n_layers`` into contiguous ranges proportional to ``weights``.
+
+    Every rank receives at least one layer when ``n_layers >= len(weights)``.
+
+    Returns:
+        [lo, hi) ranges, one per rank, covering layers exactly once.
+    """
+    n_ranks = len(weights)
+    if n_ranks == 0:
+        raise ValueError("need at least one rank")
+    if n_layers < n_ranks:
+        raise ValueError(f"cannot split {n_layers} layers across {n_ranks} ranks")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    # Largest-remainder apportionment with a floor of one layer per rank.
+    quotas = [max(1.0, n_layers * w / total) for w in weights]
+    counts = [int(q) for q in quotas]
+    remainders = [q - c for q, c in zip(quotas, counts)]
+    # Fix the total: add to the largest remainders, trim from the smallest
+    # quotas that stay above the one-layer floor.
+    while sum(counts) < n_layers:
+        i = max(range(n_ranks), key=lambda j: remainders[j])
+        counts[i] += 1
+        remainders[i] = -1.0
+    while sum(counts) > n_layers:
+        candidates = [j for j in range(n_ranks) if counts[j] > 1]
+        i = min(candidates, key=lambda j: remainders[j])
+        counts[i] -= 1
+        remainders[i] = 2.0
+    ranges: List[Tuple[int, int]] = []
+    lo = 0
+    for c in counts:
+        ranges.append((lo, lo + c))
+        lo += c
+    assert lo == n_layers
+    return ranges
+
+
+def partition_for(n_layers: int, nodes: Sequence[NodeSpec]) -> List[Tuple[int, int]]:
+    """Bandwidth-weighted layer ranges for the given pipeline nodes."""
+    weights = [node.effective_mem_bw for node in nodes]
+    return split_layers(n_layers, weights)

@@ -1,0 +1,118 @@
+"""Drafting policies: turning a draft model into speculation trees.
+
+The speculation phase (paper Section II-A1) runs the draft model
+iteratively, extending candidates until the top confidence falls below a
+cutoff or the tree reaches its token budget.  Engines consume drafting
+through the small :class:`Drafter` protocol so oracle models (performance
+mode) and real tiny transformers (functional mode) are interchangeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Protocol, Sequence, Tuple
+
+from repro.spec.tree import SpecTree
+
+
+class Drafter(Protocol):
+    """Anything that can greedily propose the next token for a prefix."""
+
+    def propose(self, prefix: Sequence[int]) -> Tuple[int, float]:
+        """Return (token, confidence) for the greedy continuation of ``prefix``."""
+        ...
+
+    def propose_alternatives(
+        self, prefix: Sequence[int], n: int
+    ) -> List[Tuple[int, float]]:
+        """Top-``n`` proposals, best first (used by branching trees)."""
+        ...
+
+
+@dataclass(frozen=True)
+class DraftParams:
+    """Speculation-phase knobs.
+
+    Attributes:
+        max_tokens: tree token budget (the paper caps Dolphin trees at 4).
+        cutoff: confidence threshold below which drafting halts.
+        branch_width: candidates per expansion point (1 = chain).
+        branch_margin: extra branches are added only when their confidence
+            is within this margin of the best candidate.
+    """
+
+    max_tokens: int = 4
+    cutoff: float = 0.30
+    branch_width: int = 1
+    branch_margin: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.max_tokens < 1:
+            raise ValueError("max_tokens must be >= 1")
+        if not 0.0 <= self.cutoff <= 1.0:
+            raise ValueError("cutoff must be within [0, 1]")
+        if self.branch_width < 1:
+            raise ValueError("branch_width must be >= 1")
+
+
+def draft_chain(
+    drafter: Drafter,
+    prefix: Sequence[int],
+    params: DraftParams,
+    cutoff_override: float | None = None,
+) -> List[Tuple[int, float]]:
+    """Draft a greedy chain continuing ``prefix``.
+
+    Returns (token, confidence) pairs; may be empty when the very first
+    proposal falls below the cutoff.  ``cutoff_override`` lets PipeInfer's
+    reactive controller substitute its adapted threshold.
+    """
+    cutoff = params.cutoff if cutoff_override is None else cutoff_override
+    chain: List[Tuple[int, float]] = []
+    working = list(prefix)
+    while len(chain) < params.max_tokens:
+        token, conf = drafter.propose(working)
+        if conf < cutoff:
+            break
+        chain.append((token, conf))
+        working.append(token)
+    return chain
+
+
+def draft_tree(
+    drafter: Drafter,
+    prefix: Sequence[int],
+    base_pos: int,
+    params: DraftParams,
+    cutoff_override: float | None = None,
+) -> SpecTree:
+    """Draft a speculation tree continuing ``prefix``.
+
+    Expands best-confidence-first: a frontier of (tree index, prefix)
+    candidates is grown until the budget or cutoff halts it.  Secondary
+    branches are opened only when their confidence is competitive
+    (within ``branch_margin`` of the best) — a cheap stand-in for
+    SpecInfer's learned expansion policies that keeps trees narrow when
+    the draft is confident.
+    """
+    cutoff = params.cutoff if cutoff_override is None else cutoff_override
+    tree = SpecTree(base_pos)
+    # Frontier entries: (confidence, parent index, prefix tokens).
+    frontier: List[Tuple[float, int, List[int]]] = [(1.0, -1, list(prefix))]
+    while frontier and len(tree) < params.max_tokens:
+        frontier.sort(key=lambda e: -e[0])
+        _, parent, working = frontier.pop(0)
+        proposals = drafter.propose_alternatives(working, params.branch_width)
+        if not proposals:
+            continue
+        best_conf = proposals[0][1]
+        if best_conf < cutoff:
+            continue
+        for rank, (token, conf) in enumerate(proposals):
+            if len(tree) >= params.max_tokens:
+                break
+            if rank > 0 and conf < max(cutoff, best_conf - params.branch_margin):
+                continue
+            node = tree.add(token, conf, parent)
+            frontier.append((conf, node, working + [token]))
+    return tree

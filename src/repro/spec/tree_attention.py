@@ -1,0 +1,89 @@
+"""Tree attention: masks and sequence assignment for speculation trees.
+
+Verifying a tree in one batch requires that sibling branches not attend to
+each other (paper Section II-A2).  Two equivalent mechanisms are provided:
+
+- an explicit (n x n) boolean mask over the batch — node *i* may attend to
+  node *j* iff *j* is *i* or an ancestor of *i* — for mask-based attention
+  implementations and for cross-checking;
+- KV-cache *sequence-id assignment*: each root-to-leaf path becomes one
+  sequence, and a node's cache cell carries the set of sequences whose
+  paths pass through it (the llama.cpp representation).  The causal mask
+  the cache derives from this metadata equals the explicit mask, which a
+  property test asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+import numpy as np
+
+from repro.spec.tree import SpecTree
+
+
+def tree_attention_mask(tree: SpecTree) -> np.ndarray:
+    """Boolean (n, n) mask: entry [i, j] true when i may attend to j."""
+    n = len(tree)
+    mask = np.zeros((n, n), dtype=bool)
+    for i in range(n):
+        mask[i, i] = True
+        for j in tree.ancestors(i):
+            mask[i, j] = True
+    return mask
+
+
+def assign_tree_seqs(tree: SpecTree, seq_ids: Sequence[int]) -> List[Set[int]]:
+    """Map each tree node to the set of branch sequence ids covering it.
+
+    Args:
+        tree: the speculation tree.
+        seq_ids: one id per leaf, in :meth:`SpecTree.leaves` order.
+
+    Returns:
+        Per-node sets of sequence ids.  Each node belongs to the branches
+        of every leaf beneath it; attending within one branch's sequence
+        then reproduces ancestor-only visibility.
+
+    Raises:
+        ValueError: when fewer ids than leaves are supplied.
+    """
+    leaves = tree.leaves()
+    if len(seq_ids) < len(leaves):
+        raise ValueError(f"need {len(leaves)} seq ids, got {len(seq_ids)}")
+    node_seqs: List[Set[int]] = [set() for _ in range(len(tree))]
+    for leaf, seq in zip(leaves, seq_ids):
+        for node in tree.path_to(leaf):
+            node_seqs[node].add(seq)
+    return node_seqs
+
+
+def branch_seq_of(tree: SpecTree, node_seqs: List[Set[int]], leaf: int) -> int:
+    """The unique sequence id assigned to ``leaf``'s branch."""
+    exclusive = set(node_seqs[leaf])
+    for other in tree.leaves():
+        if other != leaf:
+            exclusive -= node_seqs[other]
+    if len(exclusive) != 1:
+        raise ValueError(f"leaf {leaf} does not own exactly one sequence id")
+    return exclusive.pop()
+
+
+def mask_from_seqs(tree: SpecTree, node_seqs: List[Set[int]]) -> np.ndarray:
+    """Reconstruct the attention mask implied by sequence metadata.
+
+    Node *i* (querying in its own branch sequences) sees node *j* iff they
+    share a sequence and ``pos_j <= pos_i``.  Used to verify equivalence
+    with :func:`tree_attention_mask`.
+    """
+    n = len(tree)
+    mask = np.zeros((n, n), dtype=bool)
+    for i in range(n):
+        for j in range(n):
+            shared = node_seqs[i] & node_seqs[j]
+            if shared and tree.nodes[j].pos <= tree.nodes[i].pos:
+                # Visibility is evaluated from i's own branch: every branch
+                # of i passing through j sees j.
+                if node_seqs[i] <= node_seqs[j] or j == i or j in tree.ancestors(i):
+                    mask[i, j] = True
+    return mask

@@ -1,0 +1,53 @@
+"""Deterministic hash-based pseudo-randomness.
+
+The oracle language models (``repro.models.oracle``) need a *function* from
+token prefixes to pseudo-random draws: the same prefix must always produce
+the same next-token and the same draft/target agreement decision, across
+processes and runs, so that greedy decoding is reproducible and strategies
+can be compared token-for-token (the paper verifies zero output deviation
+across inference strategies).  Stateful generators cannot provide that, so
+we use the SplitMix64 finalizer as a keyed hash.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+_MASK64 = (1 << 64) - 1
+
+
+def splitmix64(x: int) -> int:
+    """One round of the SplitMix64 mixing function.
+
+    A high-quality 64-bit finalizer: consecutive integers map to
+    statistically independent outputs.  Used as the core of all
+    deterministic pseudo-random decisions in the simulator.
+    """
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def hash_tokens(seed: int, tokens: Sequence[int] | Iterable[int], salt: int = 0) -> int:
+    """Hash a token sequence into a 64-bit value.
+
+    Args:
+        seed: model identity; different seeds give independent oracles.
+        tokens: the token-id prefix to hash.
+        salt: extra domain separator, e.g. to derive independent streams
+            (next-token vs. agreement vs. confidence) from the same prefix.
+
+    Returns:
+        A 64-bit integer hash, deterministic in all arguments.
+    """
+    h = splitmix64(seed ^ (salt * 0x9E3779B97F4A7C15 & _MASK64))
+    for t in tokens:
+        h = splitmix64(h ^ (t & _MASK64))
+    return h
+
+
+def unit_float(h: int) -> float:
+    """Map a 64-bit hash to a float uniform in [0, 1)."""
+    return (h >> 11) * (1.0 / (1 << 53))

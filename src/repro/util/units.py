@@ -1,0 +1,33 @@
+"""Unit helpers.
+
+All simulator times are in **seconds** (float) and all sizes in **bytes**
+(int/float).  These constants keep hardware catalogs readable: a DDR4-2666
+channel is ``21.3 * GB`` per second, Gigabit Ethernet is ``Gbps(1)`` bytes
+per second, an MPI software latency is ``30 * us`` seconds.
+"""
+
+from __future__ import annotations
+
+#: SI bytes.
+KB = 1e3
+MB = 1e6
+GB = 1e9
+
+#: Binary bytes.
+KiB = 1024.0
+MiB = 1024.0**2
+GiB = 1024.0**3
+
+#: Seconds.
+us = 1e-6
+ms = 1e-3
+
+
+def Gbps(x: float) -> float:
+    """Convert gigabits-per-second to bytes-per-second."""
+    return x * 1e9 / 8.0
+
+
+def Mbps(x: float) -> float:
+    """Convert megabits-per-second to bytes-per-second."""
+    return x * 1e6 / 8.0

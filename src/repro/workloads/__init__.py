@@ -1,0 +1,5 @@
+"""Workloads: the paper's prompt scenarios as synthetic token streams."""
+
+from repro.workloads.prompts import PROMPT_CLASSES, PromptClass, make_prompt
+
+__all__ = ["PROMPT_CLASSES", "PromptClass", "make_prompt"]

@@ -1,0 +1,63 @@
+"""Synthetic prompt corpus.
+
+The paper evaluates with 128-token prompts from several task classes
+(code generation, creative writing, a Wikitext-2 excerpt; the GPU study
+adds technical explanation and roleplay — Figure 10).  For the timing
+experiments only two prompt properties matter: the token length, and the
+draft/target *alignment* the task induces — speculation accepts more on
+formulaic code than on free-form prose.  Each class therefore carries an
+``acceptance_delta`` applied to the pair's base acceptance rate, with
+values chosen to reproduce Figure 10's spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.util.rng import hash_tokens
+
+
+@dataclass(frozen=True)
+class PromptClass:
+    """One evaluation prompt scenario.
+
+    Attributes:
+        key: identifier used by harnesses.
+        description: the paper's wording for the scenario.
+        acceptance_delta: additive shift of the pair's acceptance rate for
+            this task (formulaic tasks speculate better).
+        seed: prompt-content seed.
+    """
+
+    key: str
+    description: str
+    acceptance_delta: float
+    seed: int
+
+
+#: Figure 10's four prompts plus the CPU study's Wikitext excerpt.
+PROMPT_CLASSES: Dict[str, PromptClass] = {
+    "explain": PromptClass(
+        "explain", "Prompt 1 (Explain a technical concept)", +0.02, 11
+    ),
+    "paper": PromptClass("paper", "Prompt 2 (Write a paper)", -0.04, 12),
+    "roleplay": PromptClass("roleplay", "Prompt 3 (Roleplay)", -0.10, 13),
+    "code": PromptClass("code", "Prompt 4 (Code generation)", +0.06, 14),
+    "story": PromptClass("story", "Fictional tale about Goliath", -0.02, 15),
+    "wikitext": PromptClass("wikitext", "Randomized Wikitext-2 excerpt", 0.00, 16),
+}
+
+
+def make_prompt(kind: str = "wikitext", length: int = 128, vocab: int = 32000) -> Tuple[int, ...]:
+    """A deterministic ``length``-token prompt for the given class.
+
+    Token ids avoid the reserved low range, mirroring real tokenizers.
+    """
+    cls = PROMPT_CLASSES[kind]
+    tokens = []
+    h = cls.seed
+    for i in range(length):
+        h = hash_tokens(cls.seed, (i, h & 0xFFFF), salt=7)
+        tokens.append(16 + h % (vocab - 16))
+    return tuple(tokens)

@@ -1,0 +1,138 @@
+"""Feature ablations (paper Figure 8) and cancellation behaviour."""
+
+import pytest
+
+from repro import (
+    EngineConfig,
+    FunctionalBackend,
+    GenerationJob,
+    OracleBackend,
+    PipeInferEngine,
+    cluster_c,
+    get_pair,
+    run_engine,
+)
+from repro.models.transformer import perturbed_copy
+from repro.spec.draft import DraftParams
+from tests.conftest import PROMPT
+
+JOB = GenerationJob(prompt=tuple(range(100, 228)), n_generate=96)
+
+
+@pytest.fixture(scope="module")
+def ablation_runs():
+    """Full PipeInfer vs the two Figure-8 ablations on 8 nodes."""
+    pair = get_pair("dolphin+tinyllama")
+    cluster = cluster_c(8)
+    be = OracleBackend(pair, head_node=cluster.nodes[0])
+    full = run_engine(PipeInferEngine, be, cluster, JOB)
+    no_cancel = run_engine(
+        PipeInferEngine, be, cluster, JOB,
+        EngineConfig().ablated(enable_cancellation=False),
+    )
+    no_continuous = run_engine(
+        PipeInferEngine, be, cluster, JOB,
+        EngineConfig().ablated(enable_continuous=False, microbatch_size=8),
+    )
+    return full, no_cancel, no_continuous
+
+
+class TestFigure8Shapes:
+    def test_cancellation_ablation_slower(self, ablation_runs):
+        full, no_cancel, _ = ablation_runs
+        assert no_cancel.generation_speed < full.generation_speed
+
+    def test_continuous_ablation_severely_slower(self, ablation_runs):
+        """'Removing continuous speculation ... caused severe performance
+        degradation for the Dolphin and Goliath models.'"""
+        full, _, no_continuous = ablation_runs
+        assert no_continuous.generation_speed < 0.8 * full.generation_speed
+
+    def test_itl_degrades_with_ablations(self, ablation_runs):
+        full, no_cancel, no_continuous = ablation_runs
+        assert no_cancel.itl > full.itl
+        assert no_continuous.itl > full.itl
+
+    def test_no_cancel_sends_no_signals(self, ablation_runs):
+        _, no_cancel, _ = ablation_runs
+        assert no_cancel.stats.cancel_signals_sent == 0
+        assert no_cancel.stats.worker_layer_evals_skipped == 0
+
+    def test_full_flushes_work(self, ablation_runs):
+        full, _, _ = ablation_runs
+        assert full.stats.cancel_signals_sent > 0
+        assert full.stats.worker_layer_evals_skipped > 0
+
+    def test_no_continuous_dispatches_fewer_spec_runs(self, ablation_runs):
+        """Async-only mode keeps at most one (larger) speculative run in
+        flight, so far fewer speculative runs are dispatched than under
+        continuous micro-batching."""
+        full, _, no_continuous = ablation_runs
+        assert no_continuous.stats.speculative < 0.6 * full.stats.speculative
+        # At most one spec run per canonical cycle: invalidations can only
+        # come from canonical-run divergence, never chained predecessors.
+        assert no_continuous.stats.cancelled_invalid <= no_continuous.stats.speculative
+
+
+class TestCancellationCorrectness:
+    def test_output_identical_with_and_without_cancellation(self, tiny_target):
+        """Cancellation is a pure optimization: the token stream must not
+        change (Section IV-E)."""
+        draft = perturbed_copy(tiny_target, noise=0.3, seed=9)
+        job = GenerationJob(prompt=PROMPT, n_generate=32)
+        base_cfg = EngineConfig(
+            draft=DraftParams(max_tokens=4, cutoff=0.02),
+            cutoff_recovery=0.01, cutoff_decay=0.01,
+        )
+        outs = []
+        for flag in (True, False):
+            be = FunctionalBackend(tiny_target, draft, n_cells=512)
+            r = run_engine(
+                PipeInferEngine, be, cluster_c(3), job,
+                base_cfg.ablated(enable_cancellation=flag),
+            )
+            outs.append(r.tokens)
+        assert outs[0] == outs[1]
+
+    def test_cancellation_skips_worker_evals(self):
+        pair = get_pair("goliath+xwin7b")  # low alignment: many cancels
+        cluster = cluster_c(8)
+        be = OracleBackend(pair, head_node=cluster.nodes[0])
+        r = run_engine(PipeInferEngine, be, cluster, JOB)
+        assert r.stats.cancelled_invalid > 0
+        assert r.stats.worker_layer_evals_skipped > 0
+
+    def test_low_alignment_benefits_more_from_cancellation(self):
+        """Section I: 'greater speedups ... for poorly aligned models
+        thanks to early inference cancellation.'"""
+
+        def gain(key):
+            pair = get_pair(key)
+            cluster = cluster_c(8)
+            be = OracleBackend(pair, head_node=cluster.nodes[0])
+            with_c = run_engine(PipeInferEngine, be, cluster, JOB)
+            without = run_engine(
+                PipeInferEngine, be, cluster, JOB,
+                EngineConfig().ablated(enable_cancellation=False),
+            )
+            return with_c.generation_speed / without.generation_speed
+
+        assert gain("goliath+xwin7b") >= gain("dolphin+tinyllama") - 0.02
+
+
+class TestMicrobatchAblation:
+    def test_microbatch_sizes_run(self):
+        """Micro-batch sizes 1-4 (IV-B1) all work; speed stays in a sane
+        band (the paper's preferred sizes)."""
+        pair = get_pair("dolphin+tinyllama")
+        cluster = cluster_c(8)
+        be = OracleBackend(pair, head_node=cluster.nodes[0])
+        speeds = {}
+        for mb in (1, 2, 4):
+            r = run_engine(
+                PipeInferEngine, be, cluster, JOB,
+                EngineConfig().ablated(microbatch_size=mb),
+            )
+            speeds[mb] = r.generation_speed
+        assert all(s > 0 for s in speeds.values())
+        assert speeds[4] >= speeds[1] * 0.8

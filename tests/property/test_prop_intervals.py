@@ -1,0 +1,62 @@
+"""IntervalSet vs a plain set-of-integers model."""
+
+from hypothesis import given, strategies as st
+
+from repro.models.range_cache import IntervalSet
+
+ranges = st.tuples(st.integers(0, 60), st.integers(0, 60)).map(
+    lambda t: (min(t), max(t))
+)
+ops = st.lists(
+    st.tuples(st.sampled_from(["add", "remove"]), ranges), min_size=0, max_size=30
+)
+
+
+def apply_model(operations):
+    model: set[int] = set()
+    ival = IntervalSet()
+    for op, (lo, hi) in operations:
+        if op == "add":
+            model |= set(range(lo, hi))
+            ival.add(lo, hi)
+        else:
+            model -= set(range(lo, hi))
+            ival.remove(lo, hi)
+    return model, ival
+
+
+@given(ops)
+def test_positions_match_set_model(operations):
+    model, ival = apply_model(operations)
+    assert set(ival.positions()) == model
+    assert len(ival) == len(model)
+
+
+@given(ops)
+def test_intervals_are_disjoint_sorted_nonempty(operations):
+    _, ival = apply_model(operations)
+    ivals = ival.intervals()
+    for lo, hi in ivals:
+        assert lo < hi
+    for (a0, a1), (b0, b1) in zip(ivals, ivals[1:]):
+        assert a1 < b0  # disjoint with a gap (touching would have merged)
+
+
+@given(ops, ranges)
+def test_clip_matches_set_intersection(operations, clip_range):
+    model, ival = apply_model(operations)
+    lo, hi = clip_range
+    clipped = ival.clip(lo, hi)
+    assert set(clipped.positions()) == model & set(range(lo, hi))
+
+
+@given(ops)
+def test_max_value(operations):
+    model, ival = apply_model(operations)
+    assert ival.max_value() == (max(model) if model else -1)
+
+
+@given(ops, st.integers(0, 60))
+def test_contains(operations, probe):
+    model, ival = apply_model(operations)
+    assert (probe in ival) == (probe in model)

@@ -1,0 +1,95 @@
+"""MPI ordering properties under randomized traffic."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.kernel import SimKernel, run_to_completion
+from repro.cluster.testbed import cluster_a
+from repro.comm.message import ANY_SOURCE, ANY_TAG
+from repro.comm.mpi_sim import Network
+
+# Random message plans: (tag, nbytes).  Mixed sizes force both link lanes.
+messages = st.lists(
+    st.tuples(st.integers(1, 3), st.sampled_from([8.0, 100.0, 2e5, 5e6])),
+    min_size=1,
+    max_size=20,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(messages)
+def test_per_tag_fifo_order(plan):
+    """For every (src, dst, tag) stream, receive order equals send order,
+    regardless of lane races between streams."""
+    k = SimKernel()
+    net = Network(k, cluster_a(2))
+    received: list[tuple[int, int]] = []
+
+    def sender():
+        ep = net.endpoint(0)
+        for i, (tag, nbytes) in enumerate(plan):
+            ep.send(i, 1, tag, nbytes=nbytes)
+        yield from ()
+
+    def receiver():
+        ep = net.endpoint(1)
+        for _ in plan:
+            msg = yield from ep.recv(ANY_SOURCE, ANY_TAG)
+            received.append((msg.tag, msg.payload))
+
+    procs = [k.spawn(sender()), k.spawn(receiver())]
+    run_to_completion(k, procs)
+
+    assert len(received) == len(plan)
+    for tag in {t for t, _ in plan}:
+        sent_ids = [i for i, (t, _) in enumerate(plan) if t == tag]
+        recv_ids = [i for t, i in received if t == tag]
+        assert recv_ids == sent_ids
+
+
+@settings(max_examples=40, deadline=None)
+@given(messages)
+def test_no_message_lost_or_duplicated(plan):
+    k = SimKernel()
+    net = Network(k, cluster_a(2))
+    got = []
+
+    def sender():
+        ep = net.endpoint(0)
+        for i, (tag, nbytes) in enumerate(plan):
+            ep.send(i, 1, tag, nbytes=nbytes)
+        yield from ()
+
+    def receiver():
+        ep = net.endpoint(1)
+        for _ in plan:
+            msg = yield from ep.recv()
+            got.append(msg.payload)
+
+    procs = [k.spawn(sender()), k.spawn(receiver())]
+    run_to_completion(k, procs)
+    assert sorted(got) == list(range(len(plan)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(messages)
+def test_delivery_times_not_before_latency(plan):
+    k = SimKernel()
+    net = Network(k, cluster_a(2))
+    latency = net.cluster.link_spec.latency
+    stamps = []
+
+    def sender():
+        ep = net.endpoint(0)
+        for i, (tag, nbytes) in enumerate(plan):
+            ep.send(i, 1, tag, nbytes=nbytes)
+        yield from ()
+
+    def receiver():
+        ep = net.endpoint(1)
+        for _ in plan:
+            msg = yield from ep.recv()
+            stamps.append(msg.delivered_at - msg.sent_at)
+
+    procs = [k.spawn(sender()), k.spawn(receiver())]
+    run_to_completion(k, procs)
+    assert all(dt >= latency for dt in stamps)

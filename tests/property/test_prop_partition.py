@@ -1,0 +1,55 @@
+"""Layer-partitioning properties."""
+
+from hypothesis import given, strategies as st
+
+from repro.pipeline.partition import split_layers
+
+
+@st.composite
+def partition_inputs(draw):
+    n_ranks = draw(st.integers(1, 12))
+    n_layers = draw(st.integers(n_ranks, 160))
+    weights = draw(
+        st.lists(
+            st.floats(0.01, 100.0, allow_nan=False, allow_infinity=False),
+            min_size=n_ranks,
+            max_size=n_ranks,
+        )
+    )
+    return n_layers, weights
+
+
+@given(partition_inputs())
+def test_exact_cover(inp):
+    n_layers, weights = inp
+    ranges = split_layers(n_layers, weights)
+    flat = [l for lo, hi in ranges for l in range(lo, hi)]
+    assert flat == list(range(n_layers))
+
+
+@given(partition_inputs())
+def test_every_rank_nonempty(inp):
+    n_layers, weights = inp
+    for lo, hi in split_layers(n_layers, weights):
+        assert hi > lo
+
+
+@given(partition_inputs())
+def test_contiguous_and_ordered(inp):
+    n_layers, weights = inp
+    ranges = split_layers(n_layers, weights)
+    assert ranges[0][0] == 0
+    for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+        assert a1 == b0
+    assert ranges[-1][1] == n_layers
+
+
+@given(st.integers(2, 10), st.integers(20, 100))
+def test_dominant_weight_gets_most_layers(n_ranks, n_layers):
+    weights = [1.0] * n_ranks
+    weights[0] = 1000.0
+    ranges = split_layers(n_layers, weights)
+    sizes = [hi - lo for lo, hi in ranges]
+    assert sizes[0] == max(sizes)
+    # Dominated ranks retain their one-layer floor.
+    assert all(s >= 1 for s in sizes)

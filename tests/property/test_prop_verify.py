@@ -1,0 +1,79 @@
+"""Verification-walk invariants over randomized runs."""
+
+from hypothesis import given, strategies as st
+
+from repro.models.oracle import OracleLogits
+from repro.spec.verify import verify_chain
+
+VOCAB = 16
+
+
+@st.composite
+def chain_cases(draw):
+    """A consistent (accepted_len, run, logits) instance.
+
+    The run's tokens at positions below the tip must match the accepted
+    stream's implied tokens, so we build the accepted stream first and
+    carve the run out of it plus drafted continuations.
+    """
+    accepted = draw(st.lists(st.integers(0, VOCAB - 1), min_size=2, max_size=12))
+    overlap = draw(st.integers(1, len(accepted) - 1))  # run starts at tip-overlap+1
+    start = len(accepted) - overlap
+    n_drafts = draw(st.integers(0, 5))
+    drafts = draw(st.lists(st.integers(0, VOCAB - 1), min_size=n_drafts, max_size=n_drafts))
+    run_tokens = accepted[start:] + drafts
+    # Target predictions for each run position (arbitrary).
+    predictions = draw(
+        st.lists(st.integers(0, VOCAB - 1), min_size=len(run_tokens), max_size=len(run_tokens))
+    )
+    logits = [OracleLogits(p, 0.9) for p in predictions]
+    return accepted, start, run_tokens, logits, predictions
+
+
+@given(chain_cases())
+def test_walk_always_productive(case):
+    accepted, start, run_tokens, logits, _ = case
+    out = verify_chain(len(accepted), start, run_tokens, logits)
+    # A run overlapping the tip always yields at least one new token.
+    assert len(out.new_tokens) >= 1
+
+
+@given(chain_cases())
+def test_new_tokens_are_predictions(case):
+    accepted, start, run_tokens, logits, predictions = case
+    out = verify_chain(len(accepted), start, run_tokens, logits)
+    tip = len(accepted) - 1
+    for i, tok in enumerate(out.new_tokens):
+        assert tok == predictions[tip - start + i]
+
+
+@given(chain_cases())
+def test_accepted_count_bounded_by_drafts(case):
+    accepted, start, run_tokens, logits, _ = case
+    out = verify_chain(len(accepted), start, run_tokens, logits)
+    n_unverified = start + len(run_tokens) - len(accepted)
+    assert 0 <= out.n_draft_accepted <= max(n_unverified, 0)
+    assert out.n_draft_checked - out.n_draft_accepted in (0, 1)
+
+
+@given(chain_cases())
+def test_divergence_iff_rejection(case):
+    accepted, start, run_tokens, logits, _ = case
+    out = verify_chain(len(accepted), start, run_tokens, logits)
+    k = len(run_tokens)
+    tip = len(accepted) - 1
+    if out.diverged:
+        # The token after the last accepted prediction mismatched.
+        idx = tip - start + len(out.new_tokens)
+        assert run_tokens[idx] != out.new_tokens[-1]
+    else:
+        # Walk ran off the end of the run.
+        assert tip + len(out.new_tokens) >= start + k
+
+
+@given(chain_cases())
+def test_walk_is_deterministic(case):
+    accepted, start, run_tokens, logits, _ = case
+    a = verify_chain(len(accepted), start, run_tokens, logits)
+    b = verify_chain(len(accepted), start, run_tokens, logits)
+    assert a.new_tokens == b.new_tokens and a.diverged == b.diverged

@@ -1,0 +1,130 @@
+"""Architecture descriptors: parameter counts against published sizes."""
+
+import pytest
+
+from repro.models.arch import ArchSpec
+from repro.models.quant import Quant, bits_per_weight
+from repro.models.zoo import MODEL_ZOO, get_model
+
+
+class TestParamCounts:
+    """Total parameter counts should land near the models' stated sizes."""
+
+    @pytest.mark.parametrize(
+        "key,expected_b,tol",
+        [
+            ("tinyllama-1.1b", 1.1e9, 0.15),
+            ("orca2-7b", 6.74e9, 0.10),
+            ("xwin-13b", 13.0e9, 0.10),
+            ("dolphin-70b", 69.0e9, 0.10),
+            ("goliath-120b", 118.0e9, 0.10),
+            ("falcon-7b", 7.2e9, 0.15),
+            ("falcon-40b", 41.8e9, 0.15),
+            ("falcon-180b", 180.0e9, 0.10),
+            ("mistral-7b", 7.2e9, 0.10),
+            ("yi-34b", 34.4e9, 0.12),
+        ],
+    )
+    def test_total_params_close(self, key, expected_b, tol):
+        arch = get_model(key)
+        assert arch.total_params == pytest.approx(expected_b, rel=tol)
+
+    def test_mixtral_total_vs_active(self):
+        arch = get_model("mixtral-8x22b")
+        assert arch.total_params == pytest.approx(141e9, rel=0.12)
+        # Two of eight experts active per token.
+        assert arch.active_params_per_layer < arch.params_per_layer
+        ratio = arch.ffn_active_params_per_layer / arch.ffn_params_per_layer
+        assert ratio == pytest.approx(2 / 8)
+
+
+class TestShapeInvariants:
+    def test_gqa_kv_dim(self):
+        arch = get_model("dolphin-70b")
+        assert arch.head_dim == 128
+        assert arch.kv_dim == 8 * 128
+
+    def test_heads_divisible(self):
+        with pytest.raises(ValueError):
+            ArchSpec("bad", 2, 64, 4, 3, 128, 1000)
+
+    def test_moe_active_bound(self):
+        with pytest.raises(ValueError):
+            ArchSpec("bad", 2, 64, 4, 4, 128, 1000, n_experts=2, n_active_experts=3)
+
+    def test_kv_bytes_per_token(self):
+        arch = get_model("dolphin-70b")
+        # f16 K and V: 2 * kv_dim * 2 bytes.
+        assert arch.kv_bytes_per_token_per_layer == 2 * 1024 * 2.0
+
+    def test_flops_scale_with_context(self):
+        arch = get_model("orca2-7b")
+        assert arch.flops_per_token_per_layer(2048) > arch.flops_per_token_per_layer(128)
+
+
+class TestFileSizes:
+    """Quantized byte sizes should match published GGUF file sizes."""
+
+    def test_llama70b_q3km_filesize(self):
+        arch = get_model("dolphin-70b")
+        assert arch.total_bytes == pytest.approx(33.2e9, rel=0.10)
+
+    def test_tinyllama_q4km_filesize(self):
+        arch = get_model("tinyllama-1.1b")
+        assert arch.total_bytes == pytest.approx(0.67e9, rel=0.15)
+
+    def test_goliath_q2k_filesize(self):
+        arch = get_model("goliath-120b")
+        assert arch.total_bytes == pytest.approx(49.6e9, rel=0.15)
+
+    def test_quant_ordering(self):
+        assert (
+            bits_per_weight(Quant.Q2_K)
+            < bits_per_weight(Quant.Q3_K_M)
+            < bits_per_weight(Quant.Q4_K_M)
+            < bits_per_weight(Quant.Q5_K)
+            < bits_per_weight(Quant.F16)
+        )
+
+    def test_quant_accepts_string(self):
+        assert bits_per_weight("Q4_K_M") == bits_per_weight(Quant.Q4_K_M)
+
+
+class TestZoo:
+    def test_all_cpu_pairs_present(self):
+        from repro.models.zoo import CPU_PAIRS
+
+        assert set(CPU_PAIRS) == {
+            "dolphin+tinyllama", "dolphin+orca2", "goliath+xwin7b",
+            "goliath+xwin13b", "falcon+7b", "falcon+40b",
+        }
+
+    def test_paper_acceptance_rates(self):
+        from repro.models.zoo import CPU_PAIRS
+
+        assert CPU_PAIRS["dolphin+tinyllama"].acceptance == 0.79
+        assert CPU_PAIRS["dolphin+orca2"].acceptance == 0.66
+        assert CPU_PAIRS["goliath+xwin7b"].acceptance == 0.52
+        assert CPU_PAIRS["goliath+xwin13b"].acceptance == 0.61
+        assert CPU_PAIRS["falcon+7b"].acceptance == pytest.approx(0.68675)
+        assert CPU_PAIRS["falcon+40b"].acceptance == pytest.approx(0.6947)
+        assert all(p.measured for p in CPU_PAIRS.values())
+
+    def test_gpu_pairs_count_matches_figure9(self):
+        from repro.models.zoo import GPU_PAIRS
+
+        assert len(GPU_PAIRS) == 7
+
+    def test_draft_smaller_than_target(self):
+        from repro.models.zoo import ALL_PAIRS
+
+        for pair in ALL_PAIRS.values():
+            assert pair.draft_arch.total_params < pair.target_arch.total_params
+
+    def test_unknown_keys_raise(self):
+        from repro.models.zoo import get_pair
+
+        with pytest.raises(KeyError):
+            get_model("nonexistent")
+        with pytest.raises(KeyError):
+            get_pair("nonexistent")

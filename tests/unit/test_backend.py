@@ -1,0 +1,120 @@
+"""Backend plumbing: chain state, oracle backend, functional backend."""
+
+import pytest
+
+from repro.cluster.testbed import cluster_c
+from repro.engines.backend import ChainState, FunctionalBackend, OracleBackend
+from repro.models.oracle import OracleLM
+from repro.models.zoo import get_pair
+
+
+class TestChainState:
+    def test_append_tracks_states(self):
+        o = OracleLM(seed=1)
+        chain = ChainState([1, 2], oracle=o)
+        chain.append(3)
+        assert chain.state_after(3) == o.init_state([1, 2, 3])
+        assert chain.state_after(0) == o.init_state(())
+
+    def test_reconcile_pure_extension(self):
+        o = OracleLM(seed=1)
+        chain = ChainState([1, 2], oracle=o)
+        chain.reconcile([1, 2, 3, 4])
+        assert chain.tokens == [1, 2, 3, 4]
+        assert chain.state_after(4) == o.init_state([1, 2, 3, 4])
+
+    def test_reconcile_divergence_truncates(self):
+        o = OracleLM(seed=1)
+        chain = ChainState([1, 2, 5, 6], oracle=o)
+        chain.reconcile([1, 2, 9])
+        assert chain.tokens == [1, 2, 9]
+        assert chain.state_after(3) == o.init_state([1, 2, 9])
+
+    def test_matches_prefix(self):
+        chain = ChainState([1, 2, 3])
+        assert chain.matches_prefix([1, 2])
+        assert chain.matches_prefix([1, 2, 3])
+        assert not chain.matches_prefix([1, 9])
+        assert not chain.matches_prefix([1, 2, 3, 4])  # longer than chain
+
+    def test_functional_chain_has_no_states(self):
+        chain = ChainState([1, 2], oracle=None)
+        with pytest.raises(RuntimeError):
+            chain.state_after(1)
+
+
+class TestOracleBackend:
+    @pytest.fixture()
+    def backend(self):
+        cluster = cluster_c(4)
+        return OracleBackend(get_pair("dolphin+tinyllama"), head_node=cluster.nodes[0])
+
+    def test_propose_deterministic(self, backend):
+        a = backend.propose(backend.new_chain([1, 2, 3]))
+        b = backend.propose(backend.new_chain([1, 2, 3]))
+        assert a == b
+
+    def test_slot_states_align_with_chain(self, backend):
+        chain = backend.new_chain([1, 2, 3, 4])
+        states = backend.slot_states(chain, 1, 2)
+        assert states == [chain.state_after(2), chain.state_after(3)]
+
+    def test_draft_cheaper_than_target_stage(self, backend):
+        cluster = cluster_c(4)
+        node = cluster.nodes[0]
+        target_stage = sum(backend.stage_chunks(node, (0, 20), 1))
+        assert backend.draft_token_time() < target_stage
+
+    def test_pipeline_draft_costlier_than_local(self, backend):
+        cluster = cluster_c(8)
+        local = backend.draft_token_time()
+        piped = backend.draft_pipeline_token_time(cluster.nodes, cluster.link_spec.latency)
+        assert piped > local
+
+    def test_stage_chunks_cover_layers(self, backend):
+        node = cluster_c(1).nodes[0]
+        chunks = backend.stage_chunks(node, (0, 10), 1)
+        # probe granularity of 4 layers -> 3 chunks for 10 layers.
+        assert len(chunks) == 3
+        assert all(c > 0 for c in chunks)
+
+    def test_message_sizes(self, backend):
+        arch = get_pair("dolphin+tinyllama").target_arch
+        assert backend.activation_nbytes(2) == 2 * arch.d_model * 4.0
+        assert backend.logits_nbytes(3) == 3 * arch.vocab * 4.0
+
+    def test_memory_roles(self, backend):
+        draft_only = backend.node_memory(None, hosts_draft=True, n_cells=512)
+        shard = backend.node_memory((0, 40), hosts_draft=False, n_cells=512)
+        both = backend.node_memory((0, 40), hosts_draft=True, n_cells=512)
+        assert both > shard > draft_only
+
+    def test_acceptance_override(self):
+        cluster = cluster_c(2)
+        be = OracleBackend(
+            get_pair("dolphin+tinyllama"), head_node=cluster.nodes[0],
+            acceptance_override=1.0,
+        )
+        chain = be.new_chain([5, 6, 7])
+        tok, _ = be.propose(chain)
+        assert tok == be.oracle.next_token([5, 6, 7])
+
+
+class TestFunctionalBackend:
+    def test_vocab_mismatch_rejected(self, tiny_target):
+        from repro.models.transformer import TinyTransformer, TransformerConfig
+
+        other = TinyTransformer(TransformerConfig(vocab=64, d_model=32, n_layers=2,
+                                                  n_heads=4, n_kv_heads=2, d_ff=48))
+        with pytest.raises(ValueError):
+            FunctionalBackend(tiny_target, other)
+
+    def test_propose_returns_probability(self, functional_backend):
+        tok, conf = functional_backend.propose(functional_backend.new_chain([1, 2]))
+        assert 0 <= tok < functional_backend.vocab
+        assert 0.0 < conf < 1.0
+
+    def test_alternatives_sorted(self, functional_backend):
+        alts = functional_backend.propose_alternatives([1, 2], 3)
+        confs = [c for _, c in alts]
+        assert confs == sorted(confs, reverse=True)

@@ -1,0 +1,80 @@
+"""Link model: latency, bandwidth serialization, eager lane."""
+
+from repro.cluster.interconnect import (
+    GIGABIT_ETHERNET,
+    INFINIBAND_EDR,
+    INFINIBAND_QDR,
+    Link,
+    LinkSpec,
+    LOOPBACK,
+)
+from repro.cluster.kernel import SimKernel
+from repro.util.units import Gbps, us
+
+
+def make_link(spec):
+    k = SimKernel()
+    return k, Link(k, spec)
+
+
+def test_small_message_pays_latency_plus_wire_time():
+    spec = LinkSpec("t", latency=10 * us, bandwidth=1e6, eager_threshold=1e9)
+    k, link = make_link(spec)
+    arrival = link.transmit(1000, lambda: None)
+    assert arrival == 10 * us + 1000 / 1e6
+
+
+def test_bulk_messages_serialize():
+    spec = LinkSpec("t", latency=0.0, bandwidth=1e6, eager_threshold=10)
+    k, link = make_link(spec)
+    a1 = link.transmit(1e6, lambda: None)  # 1 second on the wire
+    a2 = link.transmit(1e6, lambda: None)  # queued behind it
+    assert a1 == 1.0
+    assert a2 == 2.0
+
+
+def test_eager_lane_bypasses_bulk_queue():
+    spec = LinkSpec("t", latency=1 * us, bandwidth=1e6, eager_threshold=100)
+    k, link = make_link(spec)
+    link.transmit(1e6, lambda: None)  # occupies bulk lane for 1 s
+    eager_arrival = link.transmit(50, lambda: None)
+    assert eager_arrival < 0.001  # didn't wait behind the bulk transfer
+
+
+def test_eager_hint_forces_lane():
+    spec = LinkSpec("t", latency=0.0, bandwidth=1e6, eager_threshold=1)
+    k, link = make_link(spec)
+    link.transmit(1e6, lambda: None)
+    arrival = link.transmit(1e6, lambda: None, eager_hint=True)
+    assert arrival == 1.0  # own serialization only, no queueing
+
+
+def test_delivery_callback_fires_at_arrival_time():
+    spec = LinkSpec("t", latency=5 * us, bandwidth=float("inf"))
+    k, link = make_link(spec)
+    seen = []
+    link.transmit(10, lambda: seen.append(k.now))
+    k.run()
+    assert seen == [5 * us]
+
+
+def test_statistics_track_lanes():
+    spec = LinkSpec("t", latency=0.0, bandwidth=1e9, eager_threshold=100)
+    k, link = make_link(spec)
+    link.transmit(50, lambda: None)
+    link.transmit(5000, lambda: None)
+    assert link.eager_bytes == 50
+    assert link.bulk_bytes == 5000
+    assert link.n_messages == 2
+
+
+def test_loopback_is_free():
+    k, link = make_link(LOOPBACK)
+    assert link.transmit(1e12, lambda: None) == 0.0
+
+
+def test_catalog_specs():
+    assert GIGABIT_ETHERNET.bandwidth == Gbps(1)
+    assert INFINIBAND_EDR.bandwidth == Gbps(100)
+    assert INFINIBAND_QDR.bandwidth == Gbps(40)
+    assert INFINIBAND_EDR.latency < GIGABIT_ETHERNET.latency

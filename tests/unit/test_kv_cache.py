@@ -1,0 +1,142 @@
+"""llama.cpp-style KV cache: metadata, sequence ops, visibility."""
+
+import numpy as np
+import pytest
+
+from repro.models.kv_cache import KVCache, KVCacheError
+
+
+@pytest.fixture()
+def cache():
+    return KVCache(n_cells=16)
+
+
+class TestAllocation:
+    def test_allocate_sets_metadata(self, cache):
+        cells = cache.allocate([(0, {0}), (1, {0})])
+        assert len(cells) == 2
+        assert cache.pos[cells[0]] == 0
+        assert cache.seqs[cells[1]] == {0}
+        assert cache.n_used == 2
+
+    def test_overflow(self):
+        c = KVCache(2)
+        c.allocate([(0, {0}), (1, {0})])
+        with pytest.raises(KVCacheError):
+            c.allocate([(2, {0})])
+
+    def test_empty_seq_set_rejected(self, cache):
+        with pytest.raises(KVCacheError):
+            cache.allocate([(0, set())])
+
+    def test_negative_position_rejected(self, cache):
+        with pytest.raises(KVCacheError):
+            cache.allocate([(-1, {0})])
+
+    def test_multi_seq_cell(self, cache):
+        (cell,) = cache.allocate([(5, {0, 2, 3})])
+        assert cache.seqs[cell] == {0, 2, 3}
+
+
+class TestSequenceOps:
+    def test_seq_cp_shares_cells(self, cache):
+        cache.allocate([(i, {0}) for i in range(4)])
+        n = cache.seq_cp(0, 1, 1, 3)
+        assert n == 2
+        assert cache.seq_positions(1) == [1, 2]
+        # Metadata copy: no new cells.
+        assert cache.n_used == 4
+
+    def test_seq_cp_self_noop(self, cache):
+        cache.allocate([(0, {0})])
+        assert cache.seq_cp(0, 0, 0, 10) == 0
+
+    def test_seq_rm_frees_orphans(self, cache):
+        cache.allocate([(0, {1}), (1, {1})])
+        cache.seq_rm(1, 0, 2)
+        assert cache.n_used == 0
+
+    def test_seq_rm_keeps_shared_cells(self, cache):
+        cache.allocate([(0, {0, 1})])
+        cache.seq_rm(1, 0, 1)
+        assert cache.n_used == 1
+        assert cache.seq_positions(0) == [0]
+        assert cache.seq_positions(1) == []
+
+    def test_seq_keep(self, cache):
+        cache.allocate([(0, {0}), (1, {1}), (2, {0, 1})])
+        cache.seq_keep(0)
+        assert cache.seq_positions(0) == [0, 2]
+        assert cache.seq_positions(1) == []
+        assert cache.n_used == 2
+
+    def test_seq_broadcast(self, cache):
+        cache.allocate([(0, {5})])
+        cache.seq_broadcast(5, 0, 1, targets=[0, 1, 2])
+        for s in (0, 1, 2, 5):
+            assert cache.has_entry(s, 0)
+
+    def test_invalid_range(self, cache):
+        with pytest.raises(KVCacheError):
+            cache.seq_rm(0, 5, 3)
+        with pytest.raises(KVCacheError):
+            cache.seq_cp(0, 1, -1, 3)
+
+
+class TestQueries:
+    def test_seq_max_pos(self, cache):
+        cache.allocate([(3, {0}), (7, {0}), (5, {1})])
+        assert cache.seq_max_pos(0) == 7
+        assert cache.seq_max_pos(1) == 5
+        assert cache.seq_max_pos(9) == -1
+
+    def test_visible_cells_causal(self, cache):
+        cells = cache.allocate([(0, {0}), (1, {0}), (2, {0}), (1, {1})])
+        vis = cache.visible_cells(0, 1)
+        assert set(vis) == {cells[0], cells[1]}  # inclusive of own position
+        vis_strict = cache.visible_cells(0, 1, inclusive=False)
+        assert set(vis_strict) == {cells[0]}
+
+    def test_visible_cells_respects_sequences(self, cache):
+        cells = cache.allocate([(0, {0}), (0, {1})])
+        assert set(cache.visible_cells(0, 5)) == {cells[0]}
+        assert set(cache.visible_cells(1, 5)) == {cells[1]}
+
+    def test_has_entry(self, cache):
+        cache.allocate([(4, {2})])
+        assert cache.has_entry(2, 4)
+        assert not cache.has_entry(2, 5)
+        assert not cache.has_entry(3, 4)
+
+    def test_seq_cells_sorted_by_position(self, cache):
+        cache.allocate([(5, {0}), (2, {0}), (9, {0})])
+        positions = [int(cache.pos[c]) for c in cache.seq_cells(0)]
+        assert positions == [2, 5, 9]
+
+
+class TestTensorBacked:
+    def test_write_and_read(self):
+        c = KVCache(8, n_layers=2, kv_dim=4)
+        cells = c.allocate([(0, {0}), (1, {0})])
+        k = np.ones((2, 4))
+        v = 2 * np.ones((2, 4))
+        c.write(1, cells, k, v)
+        assert np.all(c.k[1, cells] == 1)
+        assert np.all(c.v[1, cells] == 2)
+
+    def test_metadata_only_rejects_write(self):
+        c = KVCache(8)
+        cells = c.allocate([(0, {0})])
+        with pytest.raises(KVCacheError):
+            c.write(0, cells, np.zeros((1, 4)), np.zeros((1, 4)))
+
+    def test_tensor_backed_needs_kv_dim(self):
+        with pytest.raises(ValueError):
+            KVCache(8, n_layers=2, kv_dim=0)
+
+    def test_reallocation_reuses_freed_cells(self):
+        c = KVCache(2)
+        cells = c.allocate([(0, {1}), (1, {1})])
+        c.seq_rm(1, 0, 2)
+        again = c.allocate([(5, {2}), (6, {2})])
+        assert set(again) == set(cells)

@@ -1,0 +1,133 @@
+"""Oracle language models: determinism, calibration, states."""
+
+import pytest
+
+from repro.models.oracle import (
+    DraftOracle,
+    OracleLM,
+    calibrate_agreement,
+    make_aligned_pair,
+    pass_probabilities,
+)
+
+
+class TestOracleLM:
+    def test_deterministic(self):
+        a = OracleLM(seed=1)
+        b = OracleLM(seed=1)
+        assert a.next_token([1, 2, 3]) == b.next_token([1, 2, 3])
+
+    def test_prefix_sensitive(self):
+        o = OracleLM(seed=1)
+        assert o.next_token([1, 2, 3]) != o.next_token([1, 2, 4])
+
+    def test_seeds_independent(self):
+        assert OracleLM(seed=1).next_token([5]) != OracleLM(seed=2).next_token([5])
+
+    def test_incremental_state_matches_full(self):
+        o = OracleLM(seed=3)
+        prefix = [10, 20, 30, 40]
+        state = o.init_state(())
+        for t in prefix:
+            state = o.advance(state, t)
+        assert state == o.init_state(prefix)
+        assert o.next_token_from_state(state) == o.next_token(prefix)
+
+    def test_logits_consistent_with_next_token(self):
+        o = OracleLM(seed=4)
+        assert o.logits([7, 8]).top_token == o.next_token([7, 8])
+
+    def test_tokens_in_vocab(self):
+        o = OracleLM(seed=5, vocab=100)
+        for i in range(50):
+            assert 0 <= o.next_token([i]) < 100
+
+    def test_tiny_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            OracleLM(seed=0, vocab=2)
+
+
+class TestDraftOracle:
+    def test_acceptance_converges(self):
+        for alpha in (0.3, 0.7, 0.95):
+            target = OracleLM(seed=9)
+            draft = DraftOracle(target, acceptance=alpha, seed=11)
+            agree = sum(
+                draft.next_token([i, i + 1]) == target.next_token([i, i + 1])
+                for i in range(4000)
+            )
+            assert agree / 4000 == pytest.approx(alpha, abs=0.03)
+
+    def test_disagreement_never_coincides(self):
+        """When the coin says 'disagree', tokens genuinely differ."""
+        target = OracleLM(seed=9)
+        draft = DraftOracle(target, acceptance=0.0, seed=11)
+        for i in range(500):
+            assert draft.next_token([i]) != target.next_token([i])
+
+    def test_full_alignment(self):
+        target = OracleLM(seed=9)
+        draft = DraftOracle(target, acceptance=1.0, seed=11)
+        for i in range(200):
+            assert draft.next_token([i]) == target.next_token([i])
+
+    def test_confidence_informative(self):
+        """Agreeing proposals carry higher confidence on average."""
+        target = OracleLM(seed=9)
+        draft = DraftOracle(target, acceptance=0.5, seed=13)
+        agree_confs, dis_confs = [], []
+        for i in range(2000):
+            state = target.init_state([i])
+            conf = draft.confidence_from_state(state)
+            if draft.next_token_from_state(state) == target.next_token_from_state(state):
+                agree_confs.append(conf)
+            else:
+                dis_confs.append(conf)
+        assert sum(agree_confs) / len(agree_confs) > sum(dis_confs) / len(dis_confs)
+
+    def test_confidence_in_unit_range(self):
+        target = OracleLM(seed=9)
+        draft = DraftOracle(target, acceptance=0.5, seed=13)
+        confs = [draft.confidence([i]) for i in range(500)]
+        assert all(0.0 <= c < 1.0 for c in confs)
+
+    def test_invalid_acceptance(self):
+        with pytest.raises(ValueError):
+            DraftOracle(OracleLM(seed=0), acceptance=1.5)
+
+
+class TestCalibration:
+    def test_pass_probabilities_monotone_in_cutoff(self):
+        pa0, pd0 = pass_probabilities(0.0)
+        pa3, pd3 = pass_probabilities(0.3)
+        pa9, pd9 = pass_probabilities(0.95)
+        assert pa0 == 1.0 and pd0 == 1.0
+        assert pa3 >= pa9 and pd3 >= pd9
+        assert pd3 < 1.0  # the default cutoff filters some disagreements
+
+    def test_calibrated_measured_acceptance(self):
+        """Tokens passing the cutoff are accepted at the requested rate."""
+        for measured_target in (0.52, 0.66, 0.79):
+            cutoff = 0.30
+            target, draft = make_aligned_pair(measured_target, seed=5, cutoff=cutoff)
+            passed = agreed = 0
+            for i in range(8000):
+                state = target.init_state([i, 2 * i])
+                if draft.confidence_from_state(state) >= cutoff:
+                    passed += 1
+                    agreed += int(
+                        draft.next_token_from_state(state)
+                        == target.next_token_from_state(state)
+                    )
+            assert agreed / passed == pytest.approx(measured_target, abs=0.03)
+
+    def test_no_cutoff_means_raw(self):
+        assert calibrate_agreement(0.7, 0.0) == pytest.approx(0.7)
+
+    def test_calibration_reduces_raw_agreement(self):
+        """With an enriching cutoff, raw agreement sits below measured."""
+        assert calibrate_agreement(0.79, 0.30) < 0.79
+
+    def test_degenerate_inputs_passthrough(self):
+        assert calibrate_agreement(0.0, 0.3) == 0.0
+        assert calibrate_agreement(1.0, 0.3) == 1.0

@@ -1,0 +1,60 @@
+"""Layer partitioning."""
+
+import pytest
+
+from repro.cluster.hardware import OPTIPLEX_I5_GEN2, XEON_E5_2650, XEON_GOLD_6140
+from repro.pipeline.partition import partition_for, split_layers
+
+
+def cover(ranges, n):
+    got = []
+    for lo, hi in ranges:
+        got.extend(range(lo, hi))
+    return got == list(range(n))
+
+
+class TestSplitLayers:
+    def test_even_split(self):
+        assert split_layers(8, [1, 1]) == [(0, 4), (4, 8)]
+
+    def test_exact_cover_uneven(self):
+        for n, w in [(80, [1] * 7), (137, [1] * 31), (22, [3, 1, 1])]:
+            ranges = split_layers(n, w)
+            assert cover(ranges, n)
+
+    def test_weighting_proportional(self):
+        ranges = split_layers(30, [2.0, 1.0])
+        assert ranges[0][1] - ranges[0][0] == 20
+        assert ranges[1][1] - ranges[1][0] == 10
+
+    def test_every_rank_gets_a_layer(self):
+        ranges = split_layers(5, [100.0, 0.001, 0.001, 0.001, 100.0])
+        assert all(hi - lo >= 1 for lo, hi in ranges)
+        assert cover(ranges, 5)
+
+    def test_too_few_layers_rejected(self):
+        with pytest.raises(ValueError):
+            split_layers(3, [1, 1, 1, 1])
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValueError):
+            split_layers(4, [])
+
+    def test_nonpositive_weights_rejected(self):
+        with pytest.raises(ValueError):
+            split_layers(4, [0.0, 0.0])
+
+
+class TestPartitionFor:
+    def test_homogeneous_even(self):
+        ranges = partition_for(80, [XEON_GOLD_6140] * 8)
+        sizes = [hi - lo for lo, hi in ranges]
+        assert all(s == 10 for s in sizes)
+
+    def test_heterogeneous_favors_fast_nodes(self):
+        nodes = [XEON_E5_2650, OPTIPLEX_I5_GEN2]
+        ranges = partition_for(30, nodes)
+        fast = ranges[0][1] - ranges[0][0]
+        slow = ranges[1][1] - ranges[1][0]
+        assert fast > slow
+        assert cover(ranges, 30)

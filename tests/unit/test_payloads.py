@@ -1,0 +1,56 @@
+"""Message payload records."""
+
+import pytest
+
+from repro.comm.payloads import (
+    Activations,
+    CacheOp,
+    CacheOpKind,
+    DecodeMeta,
+    LogitsPayload,
+    TokenSlot,
+)
+from repro.engines.base import EngineConfig, GenerationJob
+
+
+def test_token_slot_primary_seq():
+    s = TokenSlot(token=5, pos=3, seq_ids=(2, 4))
+    assert s.primary_seq == 2
+
+
+def test_decode_meta_counts():
+    slots = [TokenSlot(1, 0, (0,)), TokenSlot(2, 1, (0,))]
+    meta = DecodeMeta(run_id=7, slots=slots, is_speculative=True)
+    assert meta.n_tokens == 2
+    assert meta.positions() == [0, 1]
+
+
+def test_activation_cancel_flag_default():
+    a = Activations(run_id=1, nbytes=16)
+    assert not a.cancelled and a.hidden is None
+
+
+def test_cache_op_kinds():
+    op = CacheOp(CacheOpKind.SEQ_CP, 0, 3, 2, 9)
+    assert op.kind == CacheOpKind.SEQ_CP
+    assert (op.seq_src, op.seq_dst, op.p0, op.p1) == (0, 3, 2, 9)
+
+
+def test_logits_payload_cancel():
+    p = LogitsPayload(run_id=1, logits=[], nbytes=8, cancelled=True)
+    assert p.cancelled
+
+
+class TestJobAndConfig:
+    def test_job_validation(self):
+        with pytest.raises(ValueError):
+            GenerationJob(prompt=(), n_generate=4)
+        with pytest.raises(ValueError):
+            GenerationJob(prompt=(1,), n_generate=0)
+
+    def test_config_ablation_copy(self):
+        cfg = EngineConfig()
+        ab = cfg.ablated(enable_cancellation=False)
+        assert not ab.enable_cancellation
+        assert cfg.enable_cancellation  # original untouched
+        assert ab.microbatch_size == cfg.microbatch_size

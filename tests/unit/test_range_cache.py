@@ -1,0 +1,95 @@
+"""Interval-set metadata cache used by the cluster simulation."""
+
+from repro.models.range_cache import IntervalSet, RangeKVCache
+
+
+class TestIntervalSet:
+    def test_add_and_contains(self):
+        s = IntervalSet()
+        s.add(2, 5)
+        assert 2 in s and 4 in s and 5 not in s
+
+    def test_merge_touching(self):
+        s = IntervalSet()
+        s.add(0, 3)
+        s.add(3, 6)
+        assert s.intervals() == [(0, 6)]
+
+    def test_merge_overlapping(self):
+        s = IntervalSet([(0, 4), (10, 12)])
+        s.add(3, 11)
+        assert s.intervals() == [(0, 12)]
+
+    def test_add_empty_noop(self):
+        s = IntervalSet()
+        s.add(5, 5)
+        assert not s
+
+    def test_remove_splits(self):
+        s = IntervalSet([(0, 10)])
+        s.remove(3, 6)
+        assert s.intervals() == [(0, 3), (6, 10)]
+
+    def test_remove_across_intervals(self):
+        s = IntervalSet([(0, 4), (6, 9)])
+        s.remove(2, 8)
+        assert s.intervals() == [(0, 2), (8, 9)]
+
+    def test_clip(self):
+        s = IntervalSet([(0, 4), (6, 9)])
+        assert s.clip(2, 7).intervals() == [(2, 4), (6, 7)]
+
+    def test_len_and_max(self):
+        s = IntervalSet([(0, 3), (10, 11)])
+        assert len(s) == 4
+        assert s.max_value() == 10
+        assert IntervalSet().max_value() == -1
+
+    def test_positions(self):
+        assert IntervalSet([(1, 3), (7, 8)]).positions() == [1, 2, 7]
+
+    def test_union_into(self):
+        a = IntervalSet([(0, 2)])
+        b = IntervalSet([(1, 5)])
+        a.union_into(b)
+        assert b.intervals() == [(0, 5)]
+
+
+class TestRangeKVCache:
+    def test_add_tokens_and_query(self):
+        c = RangeKVCache()
+        c.add_tokens(0, [0, 1, 2])
+        assert c.seq_positions(0) == [0, 1, 2]
+        assert c.seq_max_pos(0) == 2
+        assert c.has_entry(0, 1)
+        assert not c.has_entry(0, 5)
+
+    def test_seq_cp_range(self):
+        c = RangeKVCache()
+        c.add_tokens(0, range(10))
+        n = c.seq_cp(0, 3, 2, 6)
+        assert n == 4
+        assert c.seq_positions(3) == [2, 3, 4, 5]
+
+    def test_seq_cp_self_noop(self):
+        c = RangeKVCache()
+        c.add_tokens(1, [0])
+        assert c.seq_cp(1, 1, 0, 10) == 0
+
+    def test_seq_rm(self):
+        c = RangeKVCache()
+        c.add_tokens(2, range(5))
+        removed = c.seq_rm(2, 1, 3)
+        assert removed == 2
+        assert c.seq_positions(2) == [0, 3, 4]
+
+    def test_seq_broadcast(self):
+        c = RangeKVCache()
+        c.add_tokens(1, [4])
+        c.seq_broadcast(1, 0, 10, targets=[0, 2])
+        assert c.has_entry(0, 4) and c.has_entry(2, 4)
+
+    def test_unknown_seq_empty(self):
+        c = RangeKVCache()
+        assert c.seq_positions(42) == []
+        assert c.seq_max_pos(42) == -1

@@ -1,0 +1,38 @@
+"""Deterministic hashing properties."""
+
+from repro.util.rng import hash_tokens, splitmix64, unit_float
+
+
+def test_splitmix_deterministic():
+    assert splitmix64(42) == splitmix64(42)
+
+
+def test_splitmix_distinct_inputs():
+    outs = {splitmix64(i) for i in range(1000)}
+    assert len(outs) == 1000
+
+
+def test_splitmix_64bit_range():
+    for i in (0, 1, 2**63, 2**64 - 1):
+        assert 0 <= splitmix64(i) < 2**64
+
+
+def test_hash_tokens_prefix_sensitivity():
+    assert hash_tokens(1, [1, 2, 3]) != hash_tokens(1, [1, 2, 4])
+    assert hash_tokens(1, [1, 2, 3]) != hash_tokens(1, [1, 2])
+
+
+def test_hash_tokens_seed_and_salt_independence():
+    assert hash_tokens(1, [5, 6]) != hash_tokens(2, [5, 6])
+    assert hash_tokens(1, [5, 6], salt=1) != hash_tokens(1, [5, 6], salt=2)
+
+
+def test_hash_tokens_deterministic_across_iterables():
+    assert hash_tokens(3, (1, 2, 3)) == hash_tokens(3, iter([1, 2, 3]))
+
+
+def test_unit_float_range_and_mean():
+    xs = [unit_float(splitmix64(i)) for i in range(5000)]
+    assert all(0.0 <= x < 1.0 for x in xs)
+    mean = sum(xs) / len(xs)
+    assert abs(mean - 0.5) < 0.02

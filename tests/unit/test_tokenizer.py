@@ -1,0 +1,49 @@
+"""Toy tokenizer round-trips."""
+
+import pytest
+
+from repro.models.tokenizer import ToyTokenizer
+
+
+def test_deterministic_encoding():
+    t = ToyTokenizer()
+    assert t.encode("hello world") == t.encode("hello world")
+
+
+def test_roundtrip_after_encode():
+    t = ToyTokenizer()
+    ids = t.encode("the quick brown fox", add_bos=False)
+    assert t.decode(ids) == "the quick brown fox"
+
+
+def test_bos_prepended():
+    t = ToyTokenizer()
+    assert t.encode("x")[0] == t.bos
+
+
+def test_punctuation_split():
+    t = ToyTokenizer()
+    ids = t.encode("a,b", add_bos=False)
+    assert len(ids) == 3
+
+
+def test_ids_within_vocab():
+    t = ToyTokenizer(vocab=1000)
+    for tid in t.encode("some words to hash around the vocabulary"):
+        assert 0 <= tid < 1000
+
+
+def test_unknown_id_renders_placeholder():
+    t = ToyTokenizer()
+    assert t.decode([999999]) == "<999999>"
+
+
+def test_same_word_same_id():
+    t = ToyTokenizer()
+    ids = t.encode("dog cat dog", add_bos=False)
+    assert ids[0] == ids[2] != ids[1]
+
+
+def test_vocab_must_exceed_reserved():
+    with pytest.raises(ValueError):
+        ToyTokenizer(vocab=10, reserved=16)

@@ -1,0 +1,78 @@
+"""PipeInfer's ordered transaction framing (paper Fig. 2)."""
+
+from repro.cluster.kernel import SimKernel, run_to_completion
+from repro.cluster.testbed import cluster_a
+from repro.comm.message import Tag
+from repro.comm.mpi_sim import Network
+from repro.comm.transactions import (
+    TransactionType,
+    recv_piece,
+    recv_start,
+    send_transaction,
+)
+
+
+def test_transactions_processed_in_start_order():
+    """Two transactions of different types execute in the order sent, even
+    though their payload tags differ and arrival order may interleave."""
+    k = SimKernel()
+    net = Network(k, cluster_a(2))
+    log = []
+
+    def sender():
+        ep = net.endpoint(0)
+        send_transaction(ep, 1, TransactionType.DECODE, [("meta", 16), ("acts", 4e6)])
+        send_transaction(ep, 1, TransactionType.CACHE_OP, [(["op1"], 32)], eager=True)
+        send_transaction(ep, 1, TransactionType.DECODE, [("meta2", 16), ("acts2", 8)])
+        yield from ()
+
+    def receiver():
+        ep = net.endpoint(1)
+        for _ in range(3):
+            ttype = yield from recv_start(ep, 0)
+            if ttype == TransactionType.DECODE:
+                meta = yield from recv_piece(ep, 0, ttype)
+                acts = yield from recv_piece(ep, 0, ttype)
+                log.append(("decode", meta, acts))
+            else:
+                ops = yield from recv_piece(ep, 0, ttype)
+                log.append(("cache", ops[0]))
+
+    procs = [k.spawn(sender()), k.spawn(receiver())]
+    run_to_completion(k, procs)
+    assert [entry[0] for entry in log] == ["decode", "cache", "decode"]
+    assert log[0][1] == "meta" and log[0][2] == "acts"
+    assert log[1][1] == "op1"
+    assert log[2][1] == "meta2" and log[2][2] == "acts2"
+
+
+def test_transaction_pieces_stay_with_their_start():
+    """Pieces of back-to-back same-type transactions never mix: tag order
+    is per-(src, dst, tag) FIFO and the handler pulls exactly its pieces."""
+    k = SimKernel()
+    net = Network(k, cluster_a(2))
+    seen = []
+
+    def sender():
+        ep = net.endpoint(0)
+        for i in range(4):
+            send_transaction(ep, 1, TransactionType.DECODE, [(f"m{i}", 16), (f"a{i}", 16)])
+        yield from ()
+
+    def receiver():
+        ep = net.endpoint(1)
+        for _ in range(4):
+            yield from recv_start(ep, 0)
+            m = yield from recv_piece(ep, 0, TransactionType.DECODE)
+            a = yield from recv_piece(ep, 0, TransactionType.DECODE)
+            seen.append((m, a))
+
+    procs = [k.spawn(sender()), k.spawn(receiver())]
+    run_to_completion(k, procs)
+    assert seen == [("m0", "a0"), ("m1", "a1"), ("m2", "a2"), ("m3", "a3")]
+
+
+def test_transaction_type_values_are_tags():
+    assert int(TransactionType.DECODE) == Tag.DECODE
+    assert int(TransactionType.CACHE_OP) == Tag.CACHE_OP
+    assert int(TransactionType.SHUTDOWN) == Tag.CONTROL

@@ -1,0 +1,45 @@
+"""Unit conversions and table rendering."""
+
+from repro.util.tables import format_series, format_table
+from repro.util.units import GB, GiB, Gbps, KiB, MB, Mbps, ms, us
+
+
+def test_byte_units():
+    assert GB == 1e9
+    assert MB == 1e6
+    assert GiB == 1024**3
+    assert KiB == 1024
+
+
+def test_time_units():
+    assert us == 1e-6
+    assert ms == 1e-3
+
+
+def test_bandwidth_conversions():
+    assert Gbps(1) == 125e6
+    assert Gbps(100) == 12.5e9
+    assert Mbps(8) == 1e6
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert "a" in lines[0] and "bb" in lines[0]
+    assert "-+-" in lines[1]
+
+
+def test_format_table_title():
+    out = format_table(["x"], [[1]], title="T")
+    assert out.startswith("T\n")
+
+
+def test_format_series_layout():
+    out = format_series(
+        "nodes", [4, 8], {"Iter.": [1.0, 1.1], "Pipe.": [3.0, 4.0]}, unit="tokens/s"
+    )
+    assert "Iter." in out and "Pipe." in out
+    assert "(values in tokens/s)" in out
+    # one row per series plus header and separator
+    assert len(out.splitlines()) == 5
