@@ -40,7 +40,8 @@ from repro.engines import (
     SpeculativeEngine,
     run_engine,
 )
-from repro.metrics import EngineReport
+from repro.metrics import EngineReport, RequestReport, ServingReport
+from repro.serve import Workload, make_workload, run_serving
 from repro.models import (
     CPU_PAIRS,
     GPU_PAIRS,
@@ -71,7 +72,12 @@ __all__ = [
     "SingleNodeEngine",
     "SpeculativeEngine",
     "run_engine",
+    "run_serving",
+    "Workload",
+    "make_workload",
     "EngineReport",
+    "RequestReport",
+    "ServingReport",
     "CPU_PAIRS",
     "GPU_PAIRS",
     "MODEL_ZOO",

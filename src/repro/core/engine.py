@@ -36,3 +36,9 @@ class PipeInferEngine(BaseEngine):
 
     def _head(self, job: GenerationJob) -> Generator:
         return pipeinfer_head(self, job)
+
+    def _serve_head(self, scheduler) -> Generator:
+        """Serve request streams with multiplexed asynchronous speculation."""
+        from repro.serve.head import pipeinfer_serving_head  # cycle avoidance
+
+        return pipeinfer_serving_head(self, scheduler)

@@ -15,18 +15,23 @@ continuous asynchronous speculation:
 4. else (cutoff halted drafting / no free partition / lookahead cap),
    idle briefly waiting for an arrival, decaying the cutoff when the halt
    came from draft confidence.
+
+All per-request logic operates on a :class:`RequestContext`, so the same
+functions drive both this single-job head and the multi-request serving
+head (:mod:`repro.serve.head`), which multiplexes canonical and
+speculative runs of many live requests through one pipeline.
 """
 
 from __future__ import annotations
 
-from typing import Generator, List
+from typing import Generator, List, Optional
 
 from repro.cluster.kernel import Delay
 from repro.comm.message import Tag
 from repro.comm.payloads import Activations, CancelMsg, DecodeMeta, TokenSlot
 from repro.core.continuous import CutoffController
 from repro.core.multibuffer import MultibufferManager
-from repro.core.run_state import RunFIFO, RunKind, RunRecord
+from repro.core.run_state import RequestContext, RunFIFO, RunKind, RunRecord
 from repro.engines.base import GenerationJob
 from repro.models.sampler import argmax_token
 from repro.spec.verify import verify_chain
@@ -38,241 +43,343 @@ SAMPLE_TIME_PER_LOGIT = 3e-5
 TOKEN_ACTIVATION_BYTES_PER_TOKEN = 4.0
 
 
+def new_request_context(
+    engine,
+    job: GenerationJob,
+    kv: MultibufferManager,
+    metrics,
+    req_id: int = 0,
+    arrival: float = 0.0,
+) -> RequestContext:
+    """Build the head-side state for one request."""
+    cfg = engine.config
+    return RequestContext(
+        req_id=req_id,
+        job=job,
+        accepted=list(job.prompt),
+        chain=engine.backend.new_chain(job.prompt),
+        fifo=RunFIFO(),
+        kv=kv,
+        cutoff=CutoffController(
+            cfg.draft.cutoff, cfg.cutoff_recovery, cfg.cutoff_decay
+        ),
+        metrics=metrics,
+        arrival=arrival,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Per-request operations shared by the single-job and serving heads.
+# ---------------------------------------------------------------------------
+
+
+def send_record(engine, rec: RunRecord, states, want_all_logits: bool = True) -> None:
+    """Send one run's decode transaction into the pipeline.
+
+    ``want_all_logits`` is True for verification runs (every slot's logits
+    feed the verify walk) and False for prefill, where only the last
+    prompt slot's logits are sampled.
+    """
+    be = engine.backend
+    first_target = engine.target_ranks()[0]
+    slots = [
+        TokenSlot(
+            tok,
+            rec.start_pos + i,
+            (rec.seq_id,),
+            want_logits=want_all_logits or i == len(rec.tokens) - 1,
+        )
+        for i, tok in enumerate(rec.tokens)
+    ]
+    meta = DecodeMeta(rec.run_id, slots, rec.is_speculative, oracle_states=states)
+    meta.nbytes = be.meta_nbytes(meta.n_tokens)
+    act = Activations(
+        rec.run_id,
+        nbytes=TOKEN_ACTIVATION_BYTES_PER_TOKEN * len(rec.tokens),
+        hidden=None,
+    )
+    engine.send_decode(first_target, meta, act)
+    rec.dispatched_at = engine.net.kernel.now
+
+
+def send_run(engine, ctx: RequestContext, rec: RunRecord, states) -> None:
+    """Dispatch ``rec`` into the pipeline and track it in the request FIFO."""
+    send_record(engine, rec, states)
+    ctx.fifo.push(rec)
+    ctx.metrics.stats.dispatched += 1
+
+
+def dispatch_canonical(engine, ctx: RequestContext) -> RunRecord:
+    """The guaranteed-progress single-token run for the accepted tip."""
+    tip = len(ctx.accepted) - 1
+    rec = RunRecord(
+        engine.new_run_id(),
+        RunKind.CANONICAL,
+        [ctx.accepted[tip]],
+        tip,
+        ctx.kv.canonical,
+    )
+    states = engine.backend.slot_states(ctx.chain, tip, 1)
+    send_run(engine, ctx, rec, states)
+    ctx.metrics.stats.canonical += 1
+    return rec
+
+
+def dispatch_prefill(engine, ctx: RequestContext) -> RunRecord:
+    """Send the prompt through the pipeline as a tracked run (serving mode).
+
+    The single-job head awaits its prefill logits synchronously; the
+    serving head cannot block, so the prefill enters the request FIFO like
+    any other run and its logits are sampled on arrival
+    (:func:`process_prefill_logits`).
+    """
+    rec = RunRecord(
+        engine.new_run_id(),
+        RunKind.PREFILL,
+        list(ctx.job.prompt),
+        0,
+        ctx.kv.canonical,
+    )
+    states = engine.backend.slot_states(ctx.chain, 0, len(rec.tokens))
+    send_record(engine, rec, states, want_all_logits=False)
+    ctx.fifo.push(rec)
+    ctx.metrics.stats.dispatched += 1
+    return rec
+
+
+def process_prefill_logits(engine, ctx: RequestContext, payload) -> None:
+    """Sample the first token from a prefill run's logits (serving mode)."""
+    first = argmax_token(payload.logits[0])
+    ctx.accepted.append(first)
+    ctx.chain.append(first)
+    ctx.prefilled = True
+    ctx.metrics.mark_prefill_end(engine.net.kernel.now)
+
+
+def cancel_run(engine, ctx: RequestContext, rec: RunRecord, invalid: bool) -> None:
+    """Mark and (for speculative runs) back-propagate a cancel signal."""
+    cfg = engine.config
+    stats = ctx.metrics.stats
+    if invalid:
+        stats.cancelled_invalid += 1
+    else:
+        stats.cancelled_superfluous += 1
+    if cfg.enable_cancellation and rec.is_speculative and not rec.superfluous:
+        # The signal enters at the far end of the pipeline and relays
+        # toward earlier stages (IV-D2); workers probe for it between
+        # compute chunks.
+        last_target = engine.target_ranks()[-1]
+        engine.ep().send(
+            CancelMsg(rec.run_id), last_target, Tag.CANCEL,
+            nbytes=16.0, eager=True,
+        )
+        stats.cancel_signals_sent += 1
+
+
+def process_run_logits(engine, ctx: RequestContext, payload) -> Generator:
+    """Sampling/verification for the request's oldest in-flight run."""
+    first_target = engine.target_ranks()[0]
+    kernel = engine.net.kernel
+    stats = ctx.metrics.stats
+    mb: MultibufferManager = ctx.kv
+    accepted = ctx.accepted
+    chain = ctx.chain
+
+    rec = ctx.fifo.pop()
+    if rec.run_id != payload.run_id:
+        raise RuntimeError(
+            f"FIFO desync: expected run {rec.run_id}, got {payload.run_id}"
+        )
+    if rec.is_speculative:
+        ctx.n_spec_inflight -= 1
+    stats.completed += 1
+
+    def release() -> None:
+        ops = mb.ops_for_release(rec)
+        if ops:
+            engine.send_cache_ops(first_target, ops)
+        mb.on_run_complete(rec)
+
+    if payload.cancelled or rec.cancelled or ctx.done:
+        release()
+        return
+    if rec.superfluous:
+        # Evaluated in full (canonical) or raced the mark (speculative);
+        # its predictions are already known — skip sampling.
+        release()
+        return
+
+    # ---- sampling / verification --------------------------------------
+    t = SAMPLE_TIME_PER_LOGIT * max(len(payload.logits), 1)
+    yield Delay(t)
+    engine.metrics.add_busy(0, t)
+
+    outcome = verify_chain(
+        len(accepted), rec.start_pos, rec.tokens, payload.logits
+    )
+
+    if outcome.new_tokens:
+        old_len = len(accepted)
+        accepted.extend(outcome.new_tokens)
+        # Drafted-token accounting: verification just fixed the true
+        # token at each new position; drafted tokens there were checked.
+        for p in range(old_len, len(accepted)):
+            d = ctx.drafted.pop(p, None)
+            if d is not None:
+                stats.draft_tokens_checked += 1
+                if d == accepted[p]:
+                    stats.draft_tokens_accepted += 1
+        ctx.metrics.record_tokens(kernel.now, len(outcome.new_tokens))
+        ctx.cutoff.on_accepted()
+        ops = mb.ops_for_acceptance(rec, len(accepted))
+        if ops:
+            engine.send_cache_ops(first_target, ops)
+    release()
+
+    # ---- chain reconciliation and invalidation -------------------------
+    if not chain.matches_prefix(accepted):
+        # Find the divergence point: first index where the drafted
+        # chain disagrees (pure extensions reconcile without one).
+        div = None
+        limit = min(len(chain.tokens), len(accepted))
+        for i in range(limit):
+            if chain.tokens[i] != accepted[i]:
+                div = i
+                break
+        chain.reconcile(accepted)
+        if div is not None:
+            mb.on_chain_reset()
+            for dead in ctx.fifo.invalidate_after(div):
+                cancel_run(engine, ctx, dead, invalid=True)
+            # Tokens drafted beyond the divergence die unchecked.
+            for p in [p for p in ctx.drafted if p >= len(accepted)]:
+                del ctx.drafted[p]
+    for stale in ctx.fifo.mark_superfluous(accepted):
+        cancel_run(engine, ctx, stale, invalid=False)
+
+
+def spec_allowed(engine, ctx: RequestContext) -> bool:
+    """May this request draft a new speculative micro-batch now?"""
+    cfg = engine.config
+    if cfg.enable_continuous:
+        return (
+            ctx.kv.can_allocate()
+            and len(ctx.chain) - len(ctx.accepted) < cfg.lookahead_cap
+        )
+    # Figure 8 ablation: asynchronous speculation only — a single
+    # (larger) speculative run at a time, never chained.
+    return ctx.kv.can_allocate() and ctx.n_spec_inflight == 0
+
+
+def draft_and_dispatch(engine, ctx: RequestContext) -> Generator:
+    """Draft a speculative micro-batch and dispatch it; returns the count.
+
+    Returns 0 when the confidence cutoff halted drafting before the first
+    proposal (the caller decays the cutoff / moves to another request).
+    """
+    be = engine.backend
+    cfg = engine.config
+    ep = engine.ep()
+    first_target, last_target = (
+        engine.target_ranks()[0], engine.target_ranks()[-1],
+    )
+    chain = ctx.chain
+    mb: MultibufferManager = ctx.kv
+
+    proposed = 0
+    for _ in range(cfg.microbatch_size):
+        t = be.draft_token_time()
+        yield Delay(t)
+        engine.metrics.add_busy(0, t)
+        token, conf = be.propose(chain)
+        if conf < ctx.cutoff.current:
+            break
+        ctx.drafted[len(chain)] = token
+        chain.append(token)
+        proposed += 1
+        # Probe between draft passes (a head-side synchronization
+        # point): when logits are waiting, dispatch what we have
+        # and go sample — sampling latency must not grow with the
+        # draft model's size (Section IV-A).
+        if ep.iprobe(last_target, Tag.LOGITS):
+            break
+    if proposed:
+        seq = mb.allocate()
+        start = len(chain) - proposed
+        ops = mb.ops_for_spec_dispatch(seq, len(ctx.accepted), start)
+        engine.send_cache_ops(first_target, ops)
+        rec = RunRecord(
+            engine.new_run_id(),
+            RunKind.SPECULATIVE,
+            chain.tokens[start:],
+            start,
+            seq,
+        )
+        states = be.slot_states(chain, start, proposed)
+        send_run(engine, ctx, rec, states)
+        mb.on_spec_dispatch(seq)
+        ctx.n_spec_inflight += 1
+        ctx.metrics.stats.speculative += 1
+        ctx.metrics.stats.draft_tokens_proposed += proposed
+        ctx.cutoff.on_dispatched()
+    return proposed
+
+
+# ---------------------------------------------------------------------------
+# The single-job head loop.
+# ---------------------------------------------------------------------------
+
+
 def pipeinfer_head(engine, job: GenerationJob) -> Generator:
     """Head process; ``engine`` is the owning :class:`PipeInferEngine`."""
     be = engine.backend
     cfg = engine.config
     ep = engine.ep()
     metrics = engine.metrics
-    stats = metrics.stats
     kernel = engine.net.kernel
 
     ranks = engine.target_ranks()
     first_target, last_target = ranks[0], ranks[-1]
 
-    accepted: List[int] = list(job.prompt)
-    chain = be.new_chain(job.prompt)
-    fifo = RunFIFO()
-    mb = MultibufferManager(cfg.n_seq_partitions)
-    cutoff = CutoffController(cfg.draft.cutoff, cfg.cutoff_recovery, cfg.cutoff_decay)
-    n_spec_inflight = 0
-    #: position -> drafted token, for acceptance-rate accounting.  A
-    #: drafted token is "checked" when verification fixes its position's
-    #: true token; tokens drafted beyond a divergence are discarded
-    #: unchecked (they were never compared against the target).
-    drafted: dict = {}
-
-    # ---- helpers -----------------------------------------------------------
-
-    def send_run(rec: RunRecord, states) -> None:
-        slots = [
-            TokenSlot(tok, rec.start_pos + i, (rec.seq_id,), want_logits=True)
-            for i, tok in enumerate(rec.tokens)
-        ]
-        meta = DecodeMeta(
-            rec.run_id, slots, rec.is_speculative, oracle_states=states
-        )
-        meta.nbytes = be.meta_nbytes(meta.n_tokens)
-        act = Activations(
-            rec.run_id,
-            nbytes=TOKEN_ACTIVATION_BYTES_PER_TOKEN * len(rec.tokens),
-            hidden=None,
-        )
-        engine.send_decode(first_target, meta, act)
-        rec.dispatched_at = kernel.now
-        fifo.push(rec)
-        stats.dispatched += 1
-
-    def dispatch_canonical() -> None:
-        tip = len(accepted) - 1
-        rec = RunRecord(
-            engine.new_run_id(), RunKind.CANONICAL, [accepted[tip]], tip, 0
-        )
-        states = be.slot_states(chain, tip, 1)
-        send_run(rec, states)
-        stats.canonical += 1
-
-    def cancel(rec: RunRecord, invalid: bool) -> None:
-        """Mark and (for speculative runs) back-propagate a cancel signal."""
-        if invalid:
-            stats.cancelled_invalid += 1
-        else:
-            stats.cancelled_superfluous += 1
-        if (
-            cfg.enable_cancellation
-            and rec.is_speculative
-            and not rec.superfluous
-        ):
-            # The signal enters at the far end of the pipeline and relays
-            # toward earlier stages (IV-D2); workers probe for it between
-            # compute chunks.
-            ep.send(
-                CancelMsg(rec.run_id), last_target, Tag.CANCEL,
-                nbytes=16.0, eager=True,
-            )
-            stats.cancel_signals_sent += 1
-
-    def process_logits(msg) -> Generator:
-        nonlocal n_spec_inflight
-        payload = msg.payload
-        rec = fifo.pop()
-        if rec.run_id != payload.run_id:
-            raise RuntimeError(
-                f"FIFO desync: expected run {rec.run_id}, got {payload.run_id}"
-            )
-        if rec.is_speculative:
-            n_spec_inflight -= 1
-        stats.completed += 1
-
-        def release() -> None:
-            ops = mb.ops_for_release(rec)
-            if ops:
-                engine.send_cache_ops(first_target, ops)
-            mb.on_run_complete(rec)
-
-        if payload.cancelled or rec.cancelled:
-            release()
-            return
-        if rec.superfluous:
-            # Evaluated in full (canonical) or raced the mark (speculative);
-            # its predictions are already known — skip sampling.
-            release()
-            return
-
-        # ---- sampling / verification --------------------------------------
-        t = SAMPLE_TIME_PER_LOGIT * max(len(payload.logits), 1)
-        yield Delay(t)
-        metrics.add_busy(0, t)
-
-        outcome = verify_chain(
-            len(accepted), rec.start_pos, rec.tokens, payload.logits
-        )
-
-        if outcome.new_tokens:
-            old_len = len(accepted)
-            accepted.extend(outcome.new_tokens)
-            # Drafted-token accounting: verification just fixed the true
-            # token at each new position; drafted tokens there were checked.
-            for p in range(old_len, len(accepted)):
-                d = drafted.pop(p, None)
-                if d is not None:
-                    stats.draft_tokens_checked += 1
-                    if d == accepted[p]:
-                        stats.draft_tokens_accepted += 1
-            metrics.record_tokens(kernel.now, len(outcome.new_tokens))
-            cutoff.on_accepted()
-            ops = mb.ops_for_acceptance(rec, len(accepted))
-            if ops:
-                engine.send_cache_ops(first_target, ops)
-        release()
-
-        # ---- chain reconciliation and invalidation -------------------------
-        if not chain.matches_prefix(accepted):
-            # Find the divergence point: first index where the drafted
-            # chain disagrees (pure extensions reconcile without one).
-            div = None
-            limit = min(len(chain.tokens), len(accepted))
-            for i in range(limit):
-                if chain.tokens[i] != accepted[i]:
-                    div = i
-                    break
-            chain.reconcile(accepted)
-            if div is not None:
-                mb.on_chain_reset()
-                for dead in fifo.invalidate_after(div):
-                    cancel(dead, invalid=True)
-                # Tokens drafted beyond the divergence die unchecked.
-                for p in [p for p in drafted if p >= len(accepted)]:
-                    del drafted[p]
-        for stale in fifo.mark_superfluous(accepted):
-            cancel(stale, invalid=False)
+    ctx = new_request_context(
+        engine, job, kv=MultibufferManager(cfg.n_seq_partitions), metrics=metrics
+    )
 
     # ---- prefill -------------------------------------------------------------
-    rid = engine.new_run_id()
-    slots = [
-        TokenSlot(t, i, (0,), want_logits=(i == len(job.prompt) - 1))
-        for i, t in enumerate(job.prompt)
-    ]
-    states = be.slot_states(chain, 0, len(job.prompt))
-    meta = DecodeMeta(rid, slots, False, oracle_states=states)
-    meta.nbytes = be.meta_nbytes(meta.n_tokens)
-    engine.send_decode(
-        first_target,
-        meta,
-        Activations(rid, TOKEN_ACTIVATION_BYTES_PER_TOKEN * len(slots), None),
+    prefill_rec = RunRecord(
+        engine.new_run_id(), RunKind.PREFILL, list(job.prompt), 0, ctx.kv.canonical
     )
+    states = be.slot_states(ctx.chain, 0, len(job.prompt))
+    send_record(engine, prefill_rec, states, want_all_logits=False)
     msg = yield from ep.recv(last_target, Tag.LOGITS)
     first = argmax_token(msg.payload.logits[0])
-    accepted.append(first)
-    chain.append(first)
+    ctx.accepted.append(first)
+    ctx.chain.append(first)
+    ctx.prefilled = True
     metrics.mark_prefill_end(kernel.now)
 
     # ---- main loop -------------------------------------------------------------
-    while len(accepted) - len(job.prompt) < job.n_generate:
+    while not ctx.target_reached():
         if ep.iprobe(last_target, Tag.LOGITS):
             msg = yield from ep.recv(last_target, Tag.LOGITS)
-            yield from process_logits(msg)
+            yield from process_run_logits(engine, ctx, msg.payload)
             continue
 
-        if not fifo.covers_tip(accepted):
-            dispatch_canonical()
+        if not ctx.fifo.covers_tip(ctx.accepted):
+            dispatch_canonical(engine, ctx)
             continue
 
         # ---- continuous speculation ---------------------------------------
-        if cfg.enable_continuous:
-            spec_allowed = (
-                mb.can_allocate()
-                and len(chain) - len(accepted) < cfg.lookahead_cap
-            )
-        else:
-            # Figure 8 ablation: asynchronous speculation only — a single
-            # (larger) speculative run at a time, never chained.
-            spec_allowed = mb.can_allocate() and n_spec_inflight == 0
-
-        if spec_allowed:
-            proposed = 0
-            for _ in range(cfg.microbatch_size):
-                t = be.draft_token_time()
-                yield Delay(t)
-                metrics.add_busy(0, t)
-                token, conf = be.propose(chain)
-                if conf < cutoff.current:
-                    break
-                drafted[len(chain)] = token
-                chain.append(token)
-                proposed += 1
-                # Probe between draft passes (a head-side synchronization
-                # point): when logits are waiting, dispatch what we have
-                # and go sample — sampling latency must not grow with the
-                # draft model's size (Section IV-A).
-                if ep.iprobe(last_target, Tag.LOGITS):
-                    break
+        if spec_allowed(engine, ctx):
+            proposed = yield from draft_and_dispatch(engine, ctx)
             if proposed:
-                seq = mb.allocate()
-                start = len(chain) - proposed
-                ops = mb.ops_for_spec_dispatch(seq, len(accepted), start)
-                engine.send_cache_ops(first_target, ops)
-                rec = RunRecord(
-                    engine.new_run_id(),
-                    RunKind.SPECULATIVE,
-                    chain.tokens[start:],
-                    start,
-                    seq,
-                )
-                states = be.slot_states(chain, start, proposed)
-                send_run(rec, states)
-                mb.on_spec_dispatch(seq)
-                n_spec_inflight += 1
-                stats.speculative += 1
-                stats.draft_tokens_proposed += proposed
-                cutoff.on_dispatched()
                 continue
             # Draft confidence halted speculation with nothing waiting.
-            cutoff.on_failed_idle()
+            ctx.cutoff.on_failed_idle()
             yield from ep.wait_for_arrival(cfg.idle_poll)
             continue
 
         # Partitions exhausted or lookahead cap: wait for the pipeline.
         yield from ep.wait_for_arrival(cfg.idle_poll)
 
-    engine.finish(job, accepted)
+    engine.finish(job, ctx.accepted)

@@ -1,18 +1,26 @@
 """Pipelined KV-cache multibuffering (paper Section IV-C).
 
 Every simultaneous run works in a private *sequence partition* of the KV
-cache, allocated from a FIFO pool; the canonical sequence 0 holds the
+cache, allocated from a FIFO pool; the canonical sequence holds the
 accepted truth.  Partitions behave like back buffers: a speculative run
 writes its drafted tokens' cells into its own sequence, and on acceptance
 the cells are "swapped" into the canonical sequence by a metadata copy.
 
 Cache commands are *pipelined as transactions* (IV-C3): a run's dispatch
 is preceded by copy commands that materialize its context — the accepted
-prefix from sequence 0 plus the still-unverified chain prefix from the
-most recent speculative partition — at each node immediately after that
-node finishes the predecessor runs.  This is what lets a run skip
-recomputing tokens shared with previous runs *before those runs have
+prefix from the canonical sequence plus the still-unverified chain prefix
+from the most recent speculative partition — at each node immediately
+after that node finishes the predecessor runs.  This is what lets a run
+skip recomputing tokens shared with previous runs *before those runs have
 completed*.
+
+Single-job mode uses one manager whose canonical sequence is 0 and whose
+pool is private.  Serving mode partitions one shared :class:`SequencePool`
+across requests: each admitted request allocates a pool sequence as its
+*canonical* partition for its lifetime (see :func:`acquire_canonical`),
+and its speculative runs draw further partitions from the same pool.  On
+request completion every partition it held returns to the pool, making
+room for queued requests — per-request release.
 
 This module owns the bookkeeping and emits the operations; the head node
 sends them down the pipeline and the workers apply them in transaction
@@ -30,15 +38,37 @@ from repro.util.fifo import SequencePool
 #: Open end bound for whole-sequence removals.
 SEQ_END = 1 << 40
 
+#: Sentinel for "no partition holds unverified chain cells".  Pool ids
+#: start at 1, so 0 never names a speculative partition.
+NO_CHAIN = 0
+
 
 class MultibufferManager:
-    """Sequence-partition allocation and cache-op construction."""
+    """Sequence-partition allocation and cache-op construction.
 
-    def __init__(self, n_partitions: int) -> None:
-        self.pool = SequencePool(n_partitions)
-        #: Partition holding the newest unverified chain cells (0 = none:
-        #: the chain is fully accepted / was just reset).
-        self.chain_seq: int = 0
+    Args:
+        n_partitions: size of a private pool (single-job mode).  Mutually
+            exclusive with ``pool``.
+        pool: a shared :class:`SequencePool` (serving mode) — several
+            managers, one per request, draw from it concurrently.
+        canonical_seq: the sequence id holding this request's accepted
+            truth.  0 in single-job mode; a pool-allocated id in serving
+            mode (see :func:`acquire_canonical`).
+    """
+
+    def __init__(
+        self,
+        n_partitions: Optional[int] = None,
+        pool: Optional[SequencePool] = None,
+        canonical_seq: int = 0,
+    ) -> None:
+        if (n_partitions is None) == (pool is None):
+            raise ValueError("pass exactly one of n_partitions or pool")
+        self.pool = pool if pool is not None else SequencePool(n_partitions)
+        self.canonical = canonical_seq
+        #: Partition holding the newest unverified chain cells (NO_CHAIN =
+        #: none: the chain is fully accepted / was just reset).
+        self.chain_seq: int = NO_CHAIN
 
     # -- allocation ---------------------------------------------------------
 
@@ -65,11 +95,16 @@ class MultibufferManager:
         completed run's inputs there).  The tip's cell and the unverified
         chain prefix live in the newest speculative partition when one is
         in flight (``chain_seq``); otherwise the canonical run earlier in
-        the pipeline writes the tip cell into sequence 0 before these ops
-        execute.
+        the pipeline writes the tip cell into the canonical sequence
+        before these ops execute.
         """
-        if self.chain_seq != 0:
-            ops = [CacheOp(CacheOpKind.SEQ_CP, 0, seq, 0, max(accepted_len - 1, 0))]
+        if self.chain_seq != NO_CHAIN:
+            ops = [
+                CacheOp(
+                    CacheOpKind.SEQ_CP, self.canonical, seq,
+                    0, max(accepted_len - 1, 0),
+                )
+            ]
             ops.append(
                 CacheOp(
                     CacheOpKind.SEQ_CP, self.chain_seq, seq,
@@ -81,7 +116,7 @@ class MultibufferManager:
             raise RuntimeError(
                 "unverified chain prefix exists but no partition holds it"
             )
-        return [CacheOp(CacheOpKind.SEQ_CP, 0, seq, 0, accepted_len)]
+        return [CacheOp(CacheOpKind.SEQ_CP, self.canonical, seq, 0, accepted_len)]
 
     def ops_for_acceptance(
         self, rec: RunRecord, accepted_len_after: int
@@ -96,39 +131,62 @@ class MultibufferManager:
         that position holds the *rejected* draft token — copying it would
         poison the canonical sequence.
         """
-        if rec.seq_id == 0:
-            return []  # canonical runs already write into sequence 0
+        if rec.seq_id == self.canonical:
+            return []  # canonical runs already write into the canonical seq
         hi = min(rec.end_pos + 1, accepted_len_after - 1)
         if hi <= rec.start_pos:
             return []
-        return [CacheOp(CacheOpKind.SEQ_CP, rec.seq_id, 0, rec.start_pos, hi)]
+        return [CacheOp(CacheOpKind.SEQ_CP, rec.seq_id, self.canonical, rec.start_pos, hi)]
 
     def ops_for_release(self, rec: RunRecord) -> List[CacheOp]:
         """Drop a completed run's partition (back-buffer free).
 
-        Accepted cells survive: they were copied into sequence 0 (and into
-        successor partitions at their dispatch); removing this sequence id
-        only frees cells no other sequence references — the rejected
-        suffix.
+        Accepted cells survive: they were copied into the canonical
+        sequence (and into successor partitions at their dispatch);
+        removing this sequence id only frees cells no other sequence
+        references — the rejected suffix.
         """
-        if rec.seq_id == 0:
+        if rec.seq_id == self.canonical:
             return []
         return [CacheOp(CacheOpKind.SEQ_RM, rec.seq_id, rec.seq_id, 0, SEQ_END)]
+
+    def ops_for_request_release(self) -> List[CacheOp]:
+        """Drop the canonical partition itself (request completion).
+
+        Serving mode only: frees every cell the finished request's
+        canonical sequence still references so queued requests find room.
+        """
+        return [CacheOp(CacheOpKind.SEQ_RM, self.canonical, self.canonical, 0, SEQ_END)]
 
     # -- lifecycle ------------------------------------------------------------------
 
     def on_run_complete(self, rec: RunRecord) -> None:
         """Release the partition and fix the chain pointer."""
-        if rec.seq_id != 0:
+        if rec.seq_id != self.canonical:
             self.pool.release(rec.seq_id)
             if self.chain_seq == rec.seq_id:
                 # The newest chain cells just left flight; anything beyond
                 # the accepted stream was reconciled by the head.
-                self.chain_seq = 0
+                self.chain_seq = NO_CHAIN
 
     def on_chain_reset(self) -> None:
-        """The drafted chain diverged; context now lives in sequence 0 only."""
-        self.chain_seq = 0
+        """The drafted chain diverged; context now lives in the canonical seq only."""
+        self.chain_seq = NO_CHAIN
 
     def on_spec_dispatch(self, seq: int) -> None:
         self.chain_seq = seq
+
+    def release_canonical(self) -> None:
+        """Return the canonical partition to the shared pool (serving mode)."""
+        if self.canonical != 0:
+            self.pool.release(self.canonical)
+
+
+def acquire_canonical(pool: SequencePool) -> "MultibufferManager":
+    """Allocate a canonical partition from ``pool`` for a new request.
+
+    The returned manager shares ``pool`` for its speculative partitions;
+    call :meth:`MultibufferManager.release_canonical` when the request
+    completes.
+    """
+    return MultibufferManager(pool=pool, canonical_seq=pool.allocate())

@@ -26,14 +26,17 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
 
 from repro.util.fifo import FifoQueue
 
 
 class RunKind(enum.Enum):
-    """Run flavours: the canonical single-token run vs. speculation."""
+    """Run flavours: prompt prefill, the canonical single-token run, and
+    speculation."""
 
+    PREFILL = "prefill"
     CANONICAL = "canonical"
     SPECULATIVE = "speculative"
 
@@ -96,6 +99,9 @@ class RunFIFO:
 
     def pop(self) -> RunRecord:
         return self._q.pop()
+
+    def peek(self) -> RunRecord:
+        return self._q.peek()
 
     def __len__(self) -> int:
         return len(self._q)
@@ -162,6 +168,21 @@ class RunFIFO:
                 hit.append(rec)
         return hit
 
+    def mark_all_cancelled(self) -> List[RunRecord]:
+        """Cancel every in-flight speculative run (request completion).
+
+        Canonical and prefill runs are left alone — workers never skip
+        them — but their sampling is suppressed by the request's ``done``
+        flag.  Returns the newly cancelled speculative records so the head
+        can emit cancel signals.
+        """
+        hit = []
+        for rec in self._q:
+            if rec.is_speculative and not rec.cancelled:
+                rec.cancelled = True
+                hit.append(rec)
+        return hit
+
     def find_token_mismatches(self, accepted: Sequence[int]) -> List[RunRecord]:
         """The paper's literal detection: token-wise comparison vs accepted.
 
@@ -181,3 +202,75 @@ class RunFIFO:
                     hit.append(rec)
                     break
         return hit
+
+
+@dataclass
+class RequestContext:
+    """All head-side state for one generation request.
+
+    The PipeInfer head loop historically kept this state in local
+    variables because it served exactly one job; the serving scheduler
+    multiplexes many requests through one pipeline, so the state lives in
+    a context object instead.  The single-job head builds one context and
+    runs the identical logic through it.
+
+    Attributes:
+        req_id: scheduler-assigned request identifier (0 for single-job).
+        job: the :class:`~repro.engines.base.GenerationJob` being served.
+        accepted: the verified token stream (prompt + generated).
+        chain: the drafted working chain
+            (:class:`~repro.engines.backend.ChainState`).
+        fifo: this request's in-flight runs, dispatch order.
+        kv: the request's :class:`~repro.core.multibuffer.MultibufferManager`
+            view (its canonical partition plus pool access).
+        cutoff: the request's reactive
+            :class:`~repro.core.continuous.CutoffController`.
+        metrics: per-request collector (the engine's own collector in
+            single-job mode).
+        drafted: position -> drafted token, for acceptance-rate accounting.
+            A drafted token is "checked" when verification fixes its
+            position's true token; tokens drafted beyond a divergence are
+            discarded unchecked.
+        n_spec_inflight: live speculative runs (Figure 8's non-continuous
+            ablation allows at most one).
+        arrival: simulated arrival timestamp (0 for single-job).
+        admitted_at: when the scheduler admitted the request.
+        finished_at: when the final token was accepted and in-flight runs
+            drained.
+        prefilled: the prompt's prefill logits have been sampled; drafting
+            and canonical dispatch are gated on this in serving mode.
+        done: the token budget is met; remaining in-flight runs drain
+            without sampling.
+    """
+
+    req_id: int
+    job: Any
+    accepted: List[int]
+    chain: Any
+    fifo: RunFIFO
+    kv: Any
+    cutoff: Any
+    metrics: Any
+    drafted: Dict[int, int] = field(default_factory=dict)
+    n_spec_inflight: int = 0
+    arrival: float = 0.0
+    admitted_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    prefilled: bool = False
+    done: bool = False
+
+    @property
+    def n_prompt(self) -> int:
+        return len(self.job.prompt)
+
+    @property
+    def n_generated(self) -> int:
+        return len(self.accepted) - self.n_prompt
+
+    def target_reached(self) -> bool:
+        """The token budget is met (verification may overshoot; callers clip)."""
+        return self.n_generated >= self.job.n_generate
+
+    def output_tokens(self) -> List[int]:
+        """Generated tokens clipped to the budget (identical to single-job)."""
+        return list(self.accepted[self.n_prompt:][: self.job.n_generate])

@@ -172,6 +172,16 @@ class Backend(ABC):
     ) -> WorkerState:
         """Per-rank state (KV shard) for a pipeline stage."""
 
+    def worker_cell_capacity(self) -> Optional[int]:
+        """KV cells available per worker shard, or None when unbounded.
+
+        The serving scheduler throttles admission against this so that
+        concurrent requests cannot overflow a fixed-capacity cache
+        mid-flight.  Performance mode tracks ranges without a cell
+        budget, hence the None default.
+        """
+        return None
+
     @abstractmethod
     def compute_stage(
         self, ws: WorkerState, meta: DecodeMeta, hidden_in: Optional[np.ndarray]
@@ -322,6 +332,9 @@ class FunctionalBackend(Backend):
         lo, hi = layer_range
         cache = self.target.new_cache(self.n_cells, layer_range)
         return WorkerState(rank, layer_range, cache, first, last)
+
+    def worker_cell_capacity(self) -> Optional[int]:
+        return self.n_cells
 
     def compute_stage(self, ws, meta, hidden_in):
         cache: KVCache = ws.cache

@@ -67,6 +67,32 @@ class EngineConfig:
     #: KV cells per worker shard (functional mode sizing).
     n_cells: int = 2048
 
+    def __post_init__(self) -> None:
+        if self.microbatch_size < 1:
+            raise ValueError(
+                f"microbatch_size must be positive, got {self.microbatch_size}"
+            )
+        if self.n_seq_partitions < 1:
+            raise ValueError(
+                f"n_seq_partitions must be positive, got {self.n_seq_partitions}"
+            )
+        if self.lookahead_cap < 1:
+            raise ValueError(
+                f"lookahead_cap must be positive, got {self.lookahead_cap}"
+            )
+        if self.cutoff_recovery < 0:
+            raise ValueError(
+                f"cutoff_recovery must be non-negative, got {self.cutoff_recovery}"
+            )
+        if self.cutoff_decay < 0:
+            raise ValueError(
+                f"cutoff_decay must be non-negative, got {self.cutoff_decay}"
+            )
+        if self.idle_poll <= 0:
+            raise ValueError(f"idle_poll must be positive, got {self.idle_poll}")
+        if self.n_cells < 1:
+            raise ValueError(f"n_cells must be positive, got {self.n_cells}")
+
     def ablated(self, **changes) -> "EngineConfig":
         """A copy with the given fields replaced (ablation studies)."""
         return replace(self, **changes)
@@ -104,6 +130,8 @@ class BaseEngine(ABC):
         self.config = config
         self.metrics = metrics
         self.generated_tokens: List[int] = []
+        #: Per-request reports, populated by the serving heads.
+        self.request_reports: List = []
         self._next_run_id = 0
 
     # -- rank layout (overridden by PipeInfer) --------------------------------
@@ -133,8 +161,8 @@ class BaseEngine(ABC):
 
     # -- spawn -------------------------------------------------------------------
 
-    def spawn(self, kernel: SimKernel, job: GenerationJob):
-        """Spawn head and worker processes; returns them for liveness checks."""
+    def _spawn_workers(self, kernel: SimKernel):
+        """Spawn the pipeline worker processes (everything but the head)."""
         from repro.engines.worker import pipeline_worker  # cycle avoidance
 
         ranks = self.target_ranks()
@@ -166,7 +194,24 @@ class BaseEngine(ABC):
                     name=f"worker-{rank}",
                 )
             )
+        return procs
+
+    def spawn(self, kernel: SimKernel, job: GenerationJob):
+        """Spawn head and worker processes; returns them for liveness checks."""
+        procs = self._spawn_workers(kernel)
         procs.append(kernel.spawn(self._head(job), name="head"))
+        self._record_memory()
+        return procs
+
+    def spawn_serving(self, kernel: SimKernel, scheduler):
+        """Spawn the workers plus a long-lived request-serving head.
+
+        ``scheduler`` is a :class:`repro.serve.scheduler.RequestScheduler`
+        feeding a stream of jobs; the pipeline stays up until every request
+        completes.
+        """
+        procs = self._spawn_workers(kernel)
+        procs.append(kernel.spawn(self._serve_head(scheduler), name="serve-head"))
         self._record_memory()
         return procs
 
@@ -190,7 +235,23 @@ class BaseEngine(ABC):
 
     @abstractmethod
     def _head(self, job: GenerationJob) -> Generator:
-        """The head node's process."""
+        """The head node's process (single job, shuts the pipeline down)."""
+
+    def _generate(self, job: GenerationJob) -> Generator:
+        """One request's generation loop; returns the accepted stream.
+
+        Engines implementing this (the sequential baselines) can be driven
+        by the FCFS serving head, which runs many requests back-to-back on
+        one long-lived pipeline.  PipeInfer overrides ``_serve_head``
+        directly with a multiplexing loop instead.
+        """
+        raise NotImplementedError(f"{self.name} cannot serve request streams")
+
+    def _serve_head(self, scheduler) -> Generator:
+        """The head process for serving mode (default: sequential FCFS)."""
+        from repro.serve.head import sequential_serving_head  # cycle avoidance
+
+        return sequential_serving_head(self, scheduler)
 
     # -- dispatch helpers -----------------------------------------------------------
 
@@ -244,6 +305,10 @@ class BaseEngine(ABC):
         """
         self.generated_tokens = list(accepted[len(job.prompt):][: job.n_generate])
         self.metrics.mark_finish(self.net.kernel.now)
+        self.shutdown_pipeline()
+
+    def shutdown_pipeline(self) -> None:
+        """Relay the shutdown transaction through the worker chain."""
         ranks = self.target_ranks()
         first_downstream = (
             ranks[0] if ranks and ranks[0] != self.head_rank() else
@@ -257,7 +322,7 @@ def run_engine(
     engine_factory,
     backend: Backend,
     cluster: Cluster,
-    job: GenerationJob,
+    job,
     config: Optional[EngineConfig] = None,
 ) -> EngineReport:
     """Build a fresh simulation, run one generation, return its report.
@@ -267,9 +332,16 @@ def run_engine(
             (backend, network, config, metrics).
         backend: functional or oracle backend.
         cluster: the testbed (bound to a fresh kernel here).
-        job: prompt and token budget.
+        job: prompt and token budget — a single :class:`GenerationJob`
+            (returns an :class:`EngineReport`, the historical behaviour),
+            or a :class:`repro.serve.scheduler.Workload` of many jobs
+            (returns a :class:`repro.metrics.report.ServingReport`).
         config: algorithm knobs; defaults to :class:`EngineConfig`.
     """
+    if not isinstance(job, GenerationJob):
+        from repro.serve.run import run_serving  # cycle avoidance
+
+        return run_serving(engine_factory, backend, cluster, job, config)
     config = config or EngineConfig()
     kernel = SimKernel()
     network = Network(kernel, cluster)

@@ -80,7 +80,7 @@ class IterativeEngine(PipelinedHeadMixin, BaseEngine):
 
     name = "iterative"
 
-    def _head(self, job: GenerationJob) -> Generator:
+    def _generate(self, job: GenerationJob) -> Generator:
         be = self.backend
         chain = be.new_chain(job.prompt)
         accepted: List[int] = list(job.prompt)
@@ -99,4 +99,8 @@ class IterativeEngine(PipelinedHeadMixin, BaseEngine):
             chain.append(nxt)
             self.metrics.record_tokens(self.net.kernel.now, 1)
 
+        return accepted
+
+    def _head(self, job: GenerationJob) -> Generator:
+        accepted = yield from self._generate(job)
         self.finish(job, accepted)

@@ -26,7 +26,7 @@ class SingleNodeEngine(BaseEngine):
     def partition(self):
         return [(0, self.backend.n_target_layers)]
 
-    def _head(self, job: GenerationJob) -> Generator:
+    def _generate(self, job: GenerationJob) -> Generator:
         be = self.backend
         metrics = self.metrics
         node = self.cluster.nodes[0]
@@ -72,4 +72,8 @@ class SingleNodeEngine(BaseEngine):
             self.metrics.stats.completed += 1
             self.metrics.stats.dispatched += 1
 
+        return accepted
+
+    def _head(self, job: GenerationJob) -> Generator:
+        accepted = yield from self._generate(job)
         self.finish(job, accepted)

@@ -49,7 +49,7 @@ class SpeculativeEngine(PipelinedHeadMixin, BaseEngine):
     def hosts_draft(self) -> bool:
         return True
 
-    def _head(self, job: GenerationJob) -> Generator:
+    def _generate(self, job: GenerationJob) -> Generator:
         be = self.backend
         cfg = self.config
         metrics = self.metrics
@@ -141,4 +141,8 @@ class SpeculativeEngine(PipelinedHeadMixin, BaseEngine):
             chain.reconcile(accepted)
             metrics.record_tokens(self.net.kernel.now, len(outcome.new_tokens))
 
+        return accepted
+
+    def _head(self, job: GenerationJob) -> Generator:
+        accepted = yield from self._generate(job)
         self.finish(job, accepted)

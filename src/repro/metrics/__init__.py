@@ -6,9 +6,30 @@
 - inter-token latency (ITL, mean gap between accepted tokens),
 - per-node memory consumption,
 - node busy-time utilization (Section I claims ~2x utilization).
+
+Serving mode adds population-level metrics: per-request
+:class:`RequestReport` timelines and the aggregate :class:`ServingReport`
+with TTFT/ITL/queue-wait percentiles and stream throughput.
 """
 
 from repro.metrics.collectors import MetricsCollector, RunStats
-from repro.metrics.report import EngineReport, aggregate
+from repro.metrics.percentiles import p50, p95, p99, percentile
+from repro.metrics.report import (
+    EngineReport,
+    RequestReport,
+    ServingReport,
+    aggregate,
+)
 
-__all__ = ["MetricsCollector", "RunStats", "EngineReport", "aggregate"]
+__all__ = [
+    "MetricsCollector",
+    "RunStats",
+    "EngineReport",
+    "RequestReport",
+    "ServingReport",
+    "aggregate",
+    "percentile",
+    "p50",
+    "p95",
+    "p99",
+]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional
 
 
@@ -43,6 +43,19 @@ class RunStats:
         if self.draft_tokens_proposed == 0:
             return 0.0
         return self.draft_tokens_accepted / self.draft_tokens_proposed
+
+    def merge(self, other: "RunStats") -> None:
+        """Accumulate another collection's counters (serving aggregation)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    @classmethod
+    def merged(cls, parts) -> "RunStats":
+        """Sum per-request stats into one aggregate."""
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
 
 
 class MetricsCollector:
@@ -110,6 +123,17 @@ class MetricsCollector:
             return float("inf")
         first, last = self.token_times[0], self.token_times[-1]
         return (last - first) / (len(self.token_times) - 1)
+
+    def itl_samples(self) -> List[float]:
+        """Individual inter-token gaps (for percentile aggregation).
+
+        A verification batch that accepts several tokens at once records
+        them at the same timestamp, contributing zero-width gaps — the
+        burstiness is part of the latency profile, not an artifact.
+        """
+        return [
+            b - a for a, b in zip(self.token_times, self.token_times[1:])
+        ]
 
     def utilization(self, total_time: Optional[float] = None) -> float:
         """Mean busy fraction across nodes that reported busy time."""

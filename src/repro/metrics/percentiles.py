@@ -1,0 +1,51 @@
+"""Percentile helpers for latency distributions.
+
+Serving workloads are judged by tail latency, not means: the paper's
+single-request metrics (TTFT, mean ITL) generalize to p50/p95/p99 over a
+request population.  The implementation is the linear-interpolation
+definition (numpy's default) so values match ``np.percentile`` without
+requiring an array round-trip for small samples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile of ``values`` with linear interpolation.
+
+    Args:
+        values: sample (need not be sorted; not modified).
+        p: percentile rank in [0, 100].
+
+    Raises:
+        ValueError: on an empty sample or ``p`` outside [0, 100].
+    """
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile rank must be in [0, 100], got {p}")
+    ordered: List[float] = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def p50(values: Sequence[float]) -> float:
+    """Median."""
+    return percentile(values, 50.0)
+
+
+def p95(values: Sequence[float]) -> float:
+    """95th percentile."""
+    return percentile(values, 95.0)
+
+
+def p99(values: Sequence[float]) -> float:
+    """99th percentile."""
+    return percentile(values, 99.0)

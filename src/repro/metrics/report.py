@@ -1,12 +1,13 @@
-"""Per-run reports and repetition aggregation."""
+"""Per-run reports, repetition aggregation, and serving-level reports."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from statistics import mean
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.metrics.collectors import MetricsCollector, RunStats
+from repro.metrics.percentiles import p50, p95, p99
 
 
 @dataclass
@@ -51,6 +52,130 @@ class EngineReport:
         """Figure 7a's memory-efficiency metric: tokens/s per mean GB."""
         gb = self.mean_node_memory / 1e9
         return self.generation_speed / gb if gb > 0 else 0.0
+
+
+@dataclass
+class RequestReport:
+    """One served request's timeline and output.
+
+    Times are absolute simulated timestamps; latencies derive from them:
+
+    - ``queue_wait`` — arrival to admission (prefill dispatch);
+    - ``ttft`` — arrival to the first output token (sampled when the
+      prompt's prefill logits return), the serving-level definition that
+      *includes* queue wait;
+    - ``itl_samples`` — individual gaps between accepted tokens.
+    """
+
+    req_id: int
+    tokens: List[int]
+    arrival: float
+    admitted_at: float
+    prefill_end: float
+    finish_time: float
+    itl_samples: List[float]
+    stats: RunStats
+
+    @property
+    def n_tokens(self) -> int:
+        return len(self.tokens)
+
+    @property
+    def queue_wait(self) -> float:
+        return self.admitted_at - self.arrival
+
+    @property
+    def ttft(self) -> float:
+        return self.prefill_end - self.arrival
+
+    @property
+    def itl(self) -> float:
+        if not self.itl_samples:
+            return float("inf")
+        return sum(self.itl_samples) / len(self.itl_samples)
+
+
+@dataclass
+class ServingReport:
+    """Aggregate metrics over a served request stream.
+
+    Percentiles are computed over the request population (TTFT,
+    queue-wait) or over every inter-token gap of every request (ITL).
+    Throughput counts generated tokens only, over the makespan from the
+    first arrival to the last completion.
+    """
+
+    strategy: str
+    n_nodes: int
+    requests: List[RequestReport]
+    makespan: float
+    throughput: float
+    ttft_p50: float
+    ttft_p95: float
+    ttft_p99: float
+    itl_p50: float
+    itl_p95: float
+    itl_p99: float
+    queue_wait_p50: float
+    queue_wait_p95: float
+    queue_wait_p99: float
+    utilization: float
+    stats: RunStats
+
+    @classmethod
+    def from_requests(
+        cls,
+        strategy: str,
+        n_nodes: int,
+        requests: Sequence[RequestReport],
+        utilization: float = 0.0,
+        extra_stats: Optional[RunStats] = None,
+    ) -> "ServingReport":
+        if not requests:
+            raise ValueError("serving report needs at least one request")
+        reqs = sorted(requests, key=lambda r: r.req_id)
+        start = min(r.arrival for r in reqs)
+        end = max(r.finish_time for r in reqs)
+        makespan = max(end - start, 0.0)
+        n_tokens = sum(r.n_tokens for r in reqs)
+        ttfts = [r.ttft for r in reqs]
+        waits = [r.queue_wait for r in reqs]
+        gaps = [g for r in reqs for g in r.itl_samples]
+        if not gaps:
+            gaps = [float("inf")]
+        stats = RunStats.merged(
+            [r.stats for r in reqs] + ([extra_stats] if extra_stats else [])
+        )
+        return cls(
+            strategy=strategy,
+            n_nodes=n_nodes,
+            requests=list(reqs),
+            makespan=makespan,
+            throughput=n_tokens / makespan if makespan > 0 else 0.0,
+            ttft_p50=p50(ttfts),
+            ttft_p95=p95(ttfts),
+            ttft_p99=p99(ttfts),
+            itl_p50=p50(gaps),
+            itl_p95=p95(gaps),
+            itl_p99=p99(gaps),
+            queue_wait_p50=p50(waits),
+            queue_wait_p95=p95(waits),
+            queue_wait_p99=p99(waits),
+            utilization=utilization,
+            stats=stats,
+        )
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.requests)
+
+    def token_counts(self) -> Dict[int, int]:
+        """Generated-token count per request id."""
+        return {r.req_id: r.n_tokens for r in self.requests}
+
+    def outputs(self) -> Dict[int, List[int]]:
+        """Generated tokens per request id."""
+        return {r.req_id: list(r.tokens) for r in self.requests}
 
 
 def aggregate(reports: Sequence[EngineReport]) -> EngineReport:

@@ -118,14 +118,27 @@ class KVCache:
         """Add ``seq_dst`` to cells of ``seq_src`` with p0 <= pos < p1.
 
         Returns the number of cells affected.  Metadata-only: K/V tensors
-        are shared between the sequences afterwards.
+        are shared between the sequences afterwards.  A position the
+        destination already holds is skipped: a second (seq, pos) cell
+        would double-count that key in attention, and interval metadata
+        (:class:`~repro.models.range_cache.RangeKVCache`) cannot represent
+        the duplicate.
         """
         self._check_range(p0, p1)
         if seq_src == seq_dst:
             return 0
+        dst_positions = {
+            int(self.pos[c])
+            for c in np.flatnonzero(self.pos >= 0)
+            if seq_dst in self.seqs[int(c)]
+        }
         n = 0
         for cell in self._cells_of(seq_src, p0, p1):
+            p = int(self.pos[cell])
+            if p in dst_positions:
+                continue
             self.seqs[cell].add(seq_dst)
+            dst_positions.add(p)
             n += 1
         return n
 

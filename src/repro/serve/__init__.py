@@ -1,0 +1,20 @@
+"""Multi-request serving: scheduler, serving heads, and the run harness.
+
+The serving layer turns the single-job simulator into a request-level
+system: a :class:`Workload` (jobs + arrival trace) is admitted FCFS by a
+:class:`RequestScheduler` into one long-lived pipeline, and the engine's
+serving head multiplexes work across the active requests.  See
+:mod:`repro.serve.head` for the two head disciplines and
+:func:`run_serving` for the entry point.
+"""
+
+from repro.serve.run import make_workload, run_serving
+from repro.serve.scheduler import Request, RequestScheduler, Workload
+
+__all__ = [
+    "Request",
+    "RequestScheduler",
+    "Workload",
+    "run_serving",
+    "make_workload",
+]

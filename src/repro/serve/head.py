@@ -1,0 +1,298 @@
+"""Serving-head processes: request streams through one long-lived pipeline.
+
+Two head loops implement serving:
+
+- :func:`pipeinfer_serving_head` — the PipeInfer head generalized from
+  one job to many: it multiplexes canonical and speculative runs of every
+  *active* request through the pipeline, filling bubbles left by one
+  request's cancelled or exhausted speculation with another request's
+  work (the composition PipeSpec observes falls out of asynchronous
+  speculation naturally).  Per-request state lives in
+  :class:`~repro.core.run_state.RequestContext`; KV sequence slots are
+  partitioned across requests by a shared
+  :class:`~repro.util.fifo.SequencePool` — each request owns a canonical
+  partition for its lifetime and returns it (plus any speculative
+  partitions) on completion.
+
+- :func:`sequential_serving_head` — FCFS, one request at a time, for the
+  synchronous baselines (iterative, speculative, single-node) whose head
+  blocks on the pipeline.  The pipeline stays up between requests; KV
+  state is cleared with a pipelined ``SEQ_RM`` after each one.
+
+Both record a :class:`~repro.metrics.report.RequestReport` per request and
+leave the list on ``engine.request_reports``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Generator, List
+
+from repro.cluster.kernel import Delay
+from repro.comm.message import Tag
+from repro.comm.payloads import CacheOp, CacheOpKind
+from repro.core.head import (
+    dispatch_canonical,
+    dispatch_prefill,
+    draft_and_dispatch,
+    new_request_context,
+    cancel_run,
+    process_prefill_logits,
+    process_run_logits,
+    spec_allowed,
+)
+from repro.core.multibuffer import SEQ_END, acquire_canonical
+from repro.core.run_state import RequestContext, RunKind
+from repro.engines.backend import apply_cache_op
+from repro.metrics.collectors import MetricsCollector
+from repro.metrics.report import RequestReport
+from repro.serve.scheduler import RequestScheduler
+from repro.util.fifo import SequencePool
+
+
+def _report_for(ctx: RequestContext) -> RequestReport:
+    """Freeze a completed context into its report."""
+    m = ctx.metrics
+    finish = m.finish_time if m.finish_time is not None else ctx.finished_at
+    return RequestReport(
+        req_id=ctx.req_id,
+        tokens=ctx.output_tokens(),
+        arrival=ctx.arrival,
+        admitted_at=ctx.admitted_at if ctx.admitted_at is not None else ctx.arrival,
+        prefill_end=m.prefill_end if m.prefill_end is not None else ctx.arrival,
+        finish_time=finish if finish is not None else ctx.arrival,
+        itl_samples=m.itl_samples(),
+        stats=m.stats,
+    )
+
+
+# ---------------------------------------------------------------------------
+# PipeInfer: multiplexed continuous speculation across requests.
+# ---------------------------------------------------------------------------
+
+
+def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
+    """Head process serving a request stream with asynchronous speculation.
+
+    The single-job loop's four priorities (sample waiting logits, keep the
+    tip covered, speculate, idle) generalize per iteration to: admit
+    arrived requests, sample the oldest waiting logits (the global
+    dispatch FIFO identifies the owning request), dispatch a canonical
+    run for any request whose tip is uncovered, then draft for the next
+    request in round-robin order that may speculate.
+    """
+    cfg = engine.config
+    ep = engine.ep()
+    kernel = engine.net.kernel
+    last_target = engine.target_ranks()[-1]
+    first_target = engine.target_ranks()[0]
+
+    pool = SequencePool(cfg.n_seq_partitions)
+    cell_capacity = engine.backend.worker_cell_capacity()
+    active: Dict[int, RequestContext] = {}
+    #: Request ids in decode-dispatch order — MPI non-overtaking returns
+    #: logits in exactly this order, so the front names the owner of any
+    #: arriving logits message.
+    order: Deque[int] = deque()
+    #: Round-robin rotation for drafting fairness.
+    rotation: Deque[int] = deque()
+    reports: List[RequestReport] = []
+
+    def cell_demand(job) -> int:
+        """Worst-case KV cells one request occupies at its peak.
+
+        Accepted cells persist until the request releases its canonical
+        partition; in-flight drafts add at most the lookahead plus one
+        micro-batch (verification can overshoot by a batch).
+        """
+        return (
+            len(job.prompt)
+            + job.n_generate
+            + cfg.lookahead_cap
+            + cfg.microbatch_size
+        )
+
+    def cells_fit(job) -> bool:
+        """Would admitting ``job`` keep the shards within cell capacity?
+
+        Bounded caches (functional mode) cannot evict mid-flight, so
+        admission waits for room.  A request too large to ever fit is
+        still admitted alone — the same overflow a single-job run of it
+        would hit, surfaced rather than deadlocked.
+        """
+        if cell_capacity is None:
+            return True
+        committed = sum(cell_demand(c.job) for c in active.values())
+        return committed + cell_demand(job) <= cell_capacity or not active
+
+    def admit_ready() -> None:
+        while (
+            scheduler.ready(kernel.now)
+            and pool.available()
+            and scheduler.may_admit(len(active))
+            and cells_fit(scheduler.peek_next().job)
+        ):
+            req = scheduler.pop_ready(kernel.now)
+            ctx = new_request_context(
+                engine,
+                req.job,
+                kv=acquire_canonical(pool),
+                metrics=MetricsCollector(),
+                req_id=req.req_id,
+                arrival=req.arrival,
+            )
+            ctx.admitted_at = kernel.now
+            active[ctx.req_id] = ctx
+            rotation.append(ctx.req_id)
+            dispatch_prefill(engine, ctx)
+            order.append(ctx.req_id)
+
+    def mark_done(ctx: RequestContext) -> None:
+        """Token budget met: stop sampling, flush in-flight speculation."""
+        ctx.done = True
+        ctx.metrics.mark_finish(kernel.now)
+        for rec in ctx.fifo.mark_all_cancelled():
+            cancel_run(engine, ctx, rec, invalid=False)
+
+    def finalize(ctx: RequestContext) -> None:
+        """All in-flight runs drained: release the request's partitions."""
+        engine.send_cache_ops(first_target, ctx.kv.ops_for_request_release())
+        ctx.kv.release_canonical()
+        ctx.finished_at = kernel.now
+        del active[ctx.req_id]
+        rotation.remove(ctx.req_id)
+        reports.append(_report_for(ctx))
+        scheduler.on_completed(ctx.req_id, kernel.now)
+
+    while active or scheduler.has_pending():
+        admit_ready()
+
+        # ---- priority 1: sample/verify waiting logits ---------------------
+        if ep.iprobe(last_target, Tag.LOGITS):
+            msg = yield from ep.recv(last_target, Tag.LOGITS)
+            ctx = active[order.popleft()]
+            if ctx.fifo.peek().kind is RunKind.PREFILL:
+                rec = ctx.fifo.pop()
+                if rec.run_id != msg.payload.run_id:
+                    raise RuntimeError(
+                        f"FIFO desync: expected run {rec.run_id}, "
+                        f"got {msg.payload.run_id}"
+                    )
+                ctx.metrics.stats.completed += 1
+                process_prefill_logits(engine, ctx, msg.payload)
+            else:
+                yield from process_run_logits(engine, ctx, msg.payload)
+            if not ctx.done and ctx.target_reached():
+                mark_done(ctx)
+            if ctx.done and not ctx.fifo:
+                finalize(ctx)
+            continue
+
+        # ---- priority 2: guaranteed forward progress ----------------------
+        progressed = False
+        for rid in list(rotation):
+            ctx = active[rid]
+            if not ctx.prefilled or ctx.done:
+                continue
+            if not ctx.fifo.covers_tip(ctx.accepted):
+                dispatch_canonical(engine, ctx)
+                order.append(rid)
+                progressed = True
+                break
+        if progressed:
+            continue
+
+        # ---- priority 3: continuous speculation, round-robin --------------
+        for _ in range(len(rotation)):
+            rid = rotation[0]
+            rotation.rotate(-1)
+            ctx = active[rid]
+            if not ctx.prefilled or ctx.done:
+                continue
+            if not spec_allowed(engine, ctx):
+                continue
+            proposed = yield from draft_and_dispatch(engine, ctx)
+            if proposed:
+                order.append(rid)
+                progressed = True
+                break
+            # Draft confidence halted this request's speculation.
+            ctx.cutoff.on_failed_idle()
+            if ep.iprobe(last_target, Tag.LOGITS):
+                break  # logits arrived during drafting: go sample.
+        if progressed:
+            continue
+
+        # ---- priority 4: idle ---------------------------------------------
+        if active:
+            yield from ep.wait_for_arrival(cfg.idle_poll)
+        else:
+            nxt = scheduler.next_arrival()
+            if nxt is not None and nxt > kernel.now:
+                yield Delay(nxt - kernel.now)
+            else:
+                yield Delay(cfg.idle_poll)
+
+    engine.request_reports = reports
+    engine.metrics.mark_finish(kernel.now)
+    engine.shutdown_pipeline()
+
+
+# ---------------------------------------------------------------------------
+# Baselines: FCFS, one request at a time.
+# ---------------------------------------------------------------------------
+
+
+def sequential_serving_head(engine, scheduler: RequestScheduler) -> Generator:
+    """FCFS serving for synchronous engines: run requests back-to-back.
+
+    Per-request metrics come from swapping a fresh collector onto the
+    engine for the duration of ``_generate`` (workers hold the aggregate
+    collector captured at spawn, so their busy time keeps accumulating
+    globally; the head's own busy time is merged back afterwards).
+    """
+    kernel = engine.net.kernel
+    base_metrics = engine.metrics
+    reports: List[RequestReport] = []
+
+    while scheduler.has_pending():
+        nxt = scheduler.peek_next()
+        if nxt.arrival > kernel.now:
+            yield Delay(nxt.arrival - kernel.now)
+        req = scheduler.pop_ready(kernel.now)
+        admitted_at = kernel.now
+        per = MetricsCollector()
+        engine.metrics = per
+        try:
+            accepted = yield from engine._generate(req.job)
+        finally:
+            engine.metrics = base_metrics
+        for rank, seconds in per.busy_time.items():
+            base_metrics.add_busy(rank, seconds)
+        finish = kernel.now
+        reports.append(
+            RequestReport(
+                req_id=req.req_id,
+                tokens=list(accepted[len(req.job.prompt):][: req.job.n_generate]),
+                arrival=req.arrival,
+                admitted_at=admitted_at,
+                prefill_end=per.prefill_end if per.prefill_end is not None else admitted_at,
+                finish_time=finish,
+                itl_samples=per.itl_samples(),
+                stats=per.stats,
+            )
+        )
+        scheduler.on_completed(req.req_id, finish)
+
+        # Clear the finished request's KV cells on every stage so the next
+        # request's positions start clean.
+        ops = [CacheOp(CacheOpKind.SEQ_RM, 0, 0, 0, SEQ_END)]
+        ranks = engine.target_ranks()
+        if engine.head_rank() in engine._worker_states:
+            apply_cache_op(engine._worker_states[engine.head_rank()].cache, ops[0])
+        if len(ranks) > 1:
+            engine.send_cache_ops(ranks[1], ops)
+
+    engine.request_reports = reports
+    base_metrics.mark_finish(kernel.now)
+    engine.shutdown_pipeline()

@@ -1,0 +1,61 @@
+"""Entry point: run a workload of requests through one simulated pipeline."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cluster.kernel import SimKernel, run_to_completion
+from repro.cluster.topology import Cluster
+from repro.comm.mpi_sim import Network
+from repro.engines.backend import Backend
+from repro.engines.base import EngineConfig, GenerationJob
+from repro.metrics.collectors import MetricsCollector
+from repro.metrics.report import ServingReport
+from repro.serve.scheduler import RequestScheduler, Workload
+
+
+def run_serving(
+    engine_factory,
+    backend: Backend,
+    cluster: Cluster,
+    workload: Workload,
+    config: Optional[EngineConfig] = None,
+) -> ServingReport:
+    """Build a fresh simulation, serve the whole workload, return the report.
+
+    Args:
+        engine_factory: engine class (or callable) taking
+            (backend, network, config, metrics).  PipeInfer serves with
+            multiplexed continuous speculation; the baselines serve FCFS
+            one request at a time.
+        backend: functional or oracle backend.
+        cluster: the testbed (bound to a fresh kernel here).
+        workload: jobs + arrival trace + optional concurrency cap.
+        config: algorithm knobs; defaults to :class:`EngineConfig`.
+    """
+    config = config or EngineConfig()
+    kernel = SimKernel()
+    network = Network(kernel, cluster)
+    metrics = MetricsCollector()
+    engine = engine_factory(backend, network, config, metrics)
+    scheduler = RequestScheduler(workload)
+    procs = engine.spawn_serving(kernel, scheduler)
+    run_to_completion(kernel, procs)
+    requests = engine.request_reports
+    report = ServingReport.from_requests(
+        engine.name, cluster.size, requests, extra_stats=metrics.stats
+    )
+    # Busy fractions over the serving makespan (head + workers).
+    report.utilization = metrics.utilization(total_time=report.makespan)
+    return report
+
+
+def make_workload(
+    jobs: Sequence[GenerationJob],
+    arrivals: Sequence[float] = (),
+    max_active: Optional[int] = None,
+) -> Workload:
+    """Convenience constructor accepting plain sequences."""
+    return Workload(
+        jobs=tuple(jobs), arrivals=tuple(arrivals), max_active=max_active
+    )

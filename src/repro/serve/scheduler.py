@@ -1,0 +1,133 @@
+"""Request admission and queueing for multi-request serving.
+
+A :class:`Workload` is a static description: jobs plus an arrival trace
+(see :mod:`repro.workloads.arrivals`) and an optional concurrency cap.
+The :class:`RequestScheduler` is the live FCFS admission queue the serving
+head consults: requests become *ready* when simulated time passes their
+arrival, are *admitted* when the head has a free KV partition (and the
+cap allows), and are *completed* when their token budget is met and their
+in-flight runs have drained.
+
+Scheduling is deliberately deterministic — FCFS by (arrival, submission
+index) — so served outputs are reproducible token-for-token against
+single-job runs of the same prompts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engines.base import GenerationJob
+
+
+@dataclass(frozen=True)
+class Request:
+    """One queued generation request."""
+
+    req_id: int
+    job: GenerationJob
+    arrival: float
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A stream of jobs with an arrival trace.
+
+    Attributes:
+        jobs: the generation jobs, in submission order.
+        arrivals: per-job arrival timestamps; an empty tuple means every
+            request is queued at t=0 (closed loop).
+        max_active: concurrency cap on simultaneously admitted requests
+            (None = bounded only by KV partitions).
+    """
+
+    jobs: Tuple[GenerationJob, ...]
+    arrivals: Tuple[float, ...] = ()
+    max_active: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise ValueError("workload must contain at least one job")
+        if self.arrivals and len(self.arrivals) != len(self.jobs):
+            raise ValueError(
+                f"arrival trace length {len(self.arrivals)} does not match "
+                f"{len(self.jobs)} jobs"
+            )
+        if any(t < 0 for t in self.arrivals):
+            raise ValueError("arrival times must be non-negative")
+        if self.max_active is not None and self.max_active < 1:
+            raise ValueError(f"max_active must be positive, got {self.max_active}")
+
+    def requests(self) -> List[Request]:
+        """The jobs as FCFS-ordered :class:`Request` records."""
+        arrivals = self.arrivals or (0.0,) * len(self.jobs)
+        reqs = [
+            Request(req_id=i, job=job, arrival=arrivals[i])
+            for i, job in enumerate(self.jobs)
+        ]
+        return sorted(reqs, key=lambda r: (r.arrival, r.req_id))
+
+
+class RequestScheduler:
+    """FCFS admission queue driven by the serving head."""
+
+    def __init__(self, workload: Workload) -> None:
+        self.workload = workload
+        self._queue: List[Request] = workload.requests()
+        self._next = 0
+        self.n_admitted = 0
+        self.n_completed = 0
+        #: req_id -> completion timestamp.
+        self.completed_at: Dict[int, float] = {}
+
+    @property
+    def max_active(self) -> Optional[int]:
+        return self.workload.max_active
+
+    @property
+    def n_total(self) -> int:
+        return len(self._queue)
+
+    def has_pending(self) -> bool:
+        """Requests not yet admitted remain."""
+        return self._next < len(self._queue)
+
+    def all_done(self) -> bool:
+        return self.n_completed == len(self._queue)
+
+    def peek_next(self) -> Optional[Request]:
+        """The next request in FCFS order, or None when all admitted."""
+        if self._next >= len(self._queue):
+            return None
+        return self._queue[self._next]
+
+    def next_arrival(self) -> Optional[float]:
+        """Arrival time of the next unadmitted request."""
+        nxt = self.peek_next()
+        return None if nxt is None else nxt.arrival
+
+    def ready(self, now: float) -> bool:
+        """True when the FCFS head has arrived by ``now``."""
+        nxt = self.peek_next()
+        return nxt is not None and nxt.arrival <= now
+
+    def may_admit(self, n_active: int) -> bool:
+        """Does the concurrency cap allow another admission?"""
+        cap = self.workload.max_active
+        return cap is None or n_active < cap
+
+    def pop_ready(self, now: float) -> Optional[Request]:
+        """Admit (dequeue) the FCFS head if it has arrived."""
+        if not self.ready(now):
+            return None
+        req = self._queue[self._next]
+        self._next += 1
+        self.n_admitted += 1
+        return req
+
+    def on_completed(self, req_id: int, t: float) -> None:
+        if req_id in self.completed_at:
+            raise ValueError(f"request {req_id} completed twice")
+        self.completed_at[req_id] = t
+        self.n_completed += 1

@@ -1,5 +1,17 @@
-"""Workloads: the paper's prompt scenarios as synthetic token streams."""
+"""Workloads: prompt scenarios and request-arrival traces."""
 
+from repro.workloads.arrivals import (
+    bursty_arrivals,
+    closed_loop_arrivals,
+    poisson_arrivals,
+)
 from repro.workloads.prompts import PROMPT_CLASSES, PromptClass, make_prompt
 
-__all__ = ["PROMPT_CLASSES", "PromptClass", "make_prompt"]
+__all__ = [
+    "PROMPT_CLASSES",
+    "PromptClass",
+    "make_prompt",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "closed_loop_arrivals",
+]

@@ -1,0 +1,78 @@
+"""Seeded arrival-process invariants."""
+
+import pytest
+
+from repro.workloads.arrivals import (
+    bursty_arrivals,
+    closed_loop_arrivals,
+    poisson_arrivals,
+)
+
+
+class TestPoisson:
+    def test_deterministic(self):
+        assert poisson_arrivals(2.0, 16, seed=5) == poisson_arrivals(2.0, 16, seed=5)
+
+    def test_seed_changes_trace(self):
+        assert poisson_arrivals(2.0, 16, seed=5) != poisson_arrivals(2.0, 16, seed=6)
+
+    def test_monotone_nondecreasing(self):
+        t = poisson_arrivals(3.0, 64, seed=1)
+        assert all(a <= b for a, b in zip(t, t[1:]))
+        assert len(t) == 64
+        assert t[0] > 0.0
+
+    def test_mean_gap_near_inverse_rate(self):
+        rate = 4.0
+        t = poisson_arrivals(rate, 4000, seed=2)
+        mean_gap = t[-1] / len(t)
+        assert mean_gap == pytest.approx(1.0 / rate, rel=0.1)
+
+    def test_rate_scales_density(self):
+        slow = poisson_arrivals(1.0, 100, seed=3)
+        fast = poisson_arrivals(10.0, 100, seed=3)
+        assert fast[-1] < slow[-1]
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 4)
+        with pytest.raises(ValueError):
+            poisson_arrivals(1.0, -1)
+
+
+class TestBursty:
+    def test_shape(self):
+        t = bursty_arrivals(10, burst_size=4, burst_gap=1.0)
+        assert t == (0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 2.0, 2.0)
+
+    def test_jitter_stays_inside_burst_window(self):
+        t = bursty_arrivals(12, burst_size=3, burst_gap=5.0, seed=7, jitter=0.5)
+        assert len(t) == 12
+        assert all(a <= b for a, b in zip(t, t[1:]))
+        for i, x in enumerate(sorted(t)):
+            burst = i // 3
+            assert burst * 5.0 <= x < burst * 5.0 + 0.5
+
+    def test_deterministic(self):
+        a = bursty_arrivals(9, 3, 2.0, seed=1, jitter=0.3)
+        assert a == bursty_arrivals(9, 3, 2.0, seed=1, jitter=0.3)
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            bursty_arrivals(4, burst_size=0, burst_gap=1.0)
+        with pytest.raises(ValueError):
+            bursty_arrivals(4, burst_size=2, burst_gap=-1.0)
+        with pytest.raises(ValueError):
+            bursty_arrivals(4, burst_size=2, burst_gap=1.0, jitter=-0.1)
+
+
+class TestClosedLoop:
+    def test_all_zero(self):
+        assert closed_loop_arrivals(5) == (0.0,) * 5
+
+    def test_empty(self):
+        assert closed_loop_arrivals(0) == ()
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            closed_loop_arrivals(-2)

@@ -1,0 +1,54 @@
+"""EngineConfig field validation."""
+
+import pytest
+
+from repro import EngineConfig
+
+
+def test_defaults_valid():
+    cfg = EngineConfig()
+    assert cfg.microbatch_size == 4
+    assert cfg.n_seq_partitions == 8
+
+
+@pytest.mark.parametrize("value", [0, -1, -4])
+def test_rejects_nonpositive_microbatch(value):
+    with pytest.raises(ValueError, match="microbatch_size"):
+        EngineConfig(microbatch_size=value)
+
+
+@pytest.mark.parametrize("value", [0, -2])
+def test_rejects_nonpositive_partitions(value):
+    with pytest.raises(ValueError, match="n_seq_partitions"):
+        EngineConfig(n_seq_partitions=value)
+
+
+@pytest.mark.parametrize("value", [0, -8])
+def test_rejects_nonpositive_lookahead(value):
+    with pytest.raises(ValueError, match="lookahead_cap"):
+        EngineConfig(lookahead_cap=value)
+
+
+def test_rejects_negative_cutoff_factors():
+    with pytest.raises(ValueError, match="cutoff_recovery"):
+        EngineConfig(cutoff_recovery=-0.01)
+    with pytest.raises(ValueError, match="cutoff_decay"):
+        EngineConfig(cutoff_decay=-0.5)
+
+
+def test_rejects_bad_idle_poll_and_cells():
+    with pytest.raises(ValueError, match="idle_poll"):
+        EngineConfig(idle_poll=0.0)
+    with pytest.raises(ValueError, match="n_cells"):
+        EngineConfig(n_cells=0)
+
+
+def test_ablated_validates_too():
+    """ablated() rebuilds the dataclass, so invalid copies are rejected."""
+    with pytest.raises(ValueError, match="microbatch_size"):
+        EngineConfig().ablated(microbatch_size=0)
+
+
+def test_zero_cutoff_factors_allowed():
+    cfg = EngineConfig(cutoff_recovery=0.0, cutoff_decay=0.0)
+    assert cfg.cutoff_recovery == 0.0

@@ -1,0 +1,50 @@
+"""Percentile helpers match numpy's linear-interpolation definition."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import p50, p95, p99, percentile
+
+
+def test_single_value():
+    assert percentile([3.0], 0) == 3.0
+    assert percentile([3.0], 50) == 3.0
+    assert percentile([3.0], 100) == 3.0
+
+
+def test_median_even_sample():
+    assert p50([1.0, 2.0, 3.0, 4.0]) == pytest.approx(2.5)
+
+
+def test_extremes():
+    vals = [5.0, 1.0, 3.0]
+    assert percentile(vals, 0) == 1.0
+    assert percentile(vals, 100) == 5.0
+
+
+@pytest.mark.parametrize("p", [0, 10, 25, 50, 75, 90, 95, 99, 100])
+def test_matches_numpy(p):
+    rng = np.random.default_rng(7)
+    vals = list(rng.uniform(0, 100, size=37))
+    assert percentile(vals, p) == pytest.approx(float(np.percentile(vals, p)))
+
+
+def test_does_not_mutate_input():
+    vals = [3.0, 1.0, 2.0]
+    percentile(vals, 50)
+    assert vals == [3.0, 1.0, 2.0]
+
+
+def test_p95_p99_ordering():
+    vals = list(range(1, 101))
+    assert p50(vals) <= p95(vals) <= p99(vals)
+    assert p99(vals) == pytest.approx(99.01)
+
+
+def test_errors():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], -1)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)

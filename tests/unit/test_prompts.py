@@ -1,0 +1,40 @@
+"""Synthetic prompt corpus invariants."""
+
+import pytest
+
+from repro.workloads.prompts import PROMPT_CLASSES, make_prompt
+
+
+def test_make_prompt_deterministic():
+    a = make_prompt("wikitext", length=64)
+    b = make_prompt("wikitext", length=64)
+    assert a == b
+
+
+def test_length_and_type():
+    p = make_prompt("code", length=37)
+    assert isinstance(p, tuple)
+    assert len(p) == 37
+    assert all(isinstance(t, int) for t in p)
+
+
+def test_reserved_low_token_range():
+    """Token ids avoid the reserved low range, mirroring real tokenizers."""
+    for kind in PROMPT_CLASSES:
+        p = make_prompt(kind, length=128, vocab=32000)
+        assert all(16 <= t < 32000 for t in p)
+
+
+def test_classes_give_distinct_prompts():
+    prompts = {make_prompt(k, length=32) for k in PROMPT_CLASSES}
+    assert len(prompts) == len(PROMPT_CLASSES)
+
+
+def test_vocab_bound_respected():
+    p = make_prompt("explain", length=256, vocab=128)
+    assert all(16 <= t < 128 for t in p)
+
+
+def test_unknown_class_errors():
+    with pytest.raises(KeyError):
+        make_prompt("no-such-class")

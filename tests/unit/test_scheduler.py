@@ -1,0 +1,74 @@
+"""RequestScheduler admission discipline and Workload validation."""
+
+import pytest
+
+from repro import GenerationJob, Workload
+from repro.serve import RequestScheduler
+
+
+def make_jobs(n):
+    return tuple(GenerationJob(prompt=(1, 2, 3), n_generate=4) for _ in range(n))
+
+
+class TestWorkload:
+    def test_requires_jobs(self):
+        with pytest.raises(ValueError):
+            Workload(jobs=())
+
+    def test_arrival_length_must_match(self):
+        with pytest.raises(ValueError):
+            Workload(jobs=make_jobs(3), arrivals=(0.0, 1.0))
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(jobs=make_jobs(2), arrivals=(0.0, -1.0))
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(jobs=make_jobs(2), max_active=0)
+
+    def test_default_arrivals_are_zero(self):
+        reqs = Workload(jobs=make_jobs(3)).requests()
+        assert [r.arrival for r in reqs] == [0.0, 0.0, 0.0]
+        assert [r.req_id for r in reqs] == [0, 1, 2]
+
+    def test_requests_sorted_by_arrival_then_id(self):
+        reqs = Workload(jobs=make_jobs(3), arrivals=(2.0, 0.5, 0.5)).requests()
+        assert [r.req_id for r in reqs] == [1, 2, 0]
+
+
+class TestScheduler:
+    def test_fcfs_pop_order(self):
+        sched = RequestScheduler(
+            Workload(jobs=make_jobs(3), arrivals=(1.0, 0.0, 2.0))
+        )
+        assert sched.next_arrival() == 0.0
+        assert sched.pop_ready(0.0).req_id == 1
+        # Request 0 has not arrived yet at t=0.5.
+        assert sched.pop_ready(0.5) is None
+        assert sched.pop_ready(1.5).req_id == 0
+        assert sched.pop_ready(5.0).req_id == 2
+        assert not sched.has_pending()
+        assert sched.next_arrival() is None
+
+    def test_completion_bookkeeping(self):
+        sched = RequestScheduler(Workload(jobs=make_jobs(2)))
+        sched.pop_ready(0.0)
+        sched.pop_ready(0.0)
+        assert not sched.all_done()
+        sched.on_completed(0, 3.0)
+        sched.on_completed(1, 4.0)
+        assert sched.all_done()
+        assert sched.completed_at == {0: 3.0, 1: 4.0}
+        with pytest.raises(ValueError):
+            sched.on_completed(0, 5.0)
+
+    def test_concurrency_cap(self):
+        sched = RequestScheduler(Workload(jobs=make_jobs(4), max_active=2))
+        assert sched.may_admit(0)
+        assert sched.may_admit(1)
+        assert not sched.may_admit(2)
+
+    def test_uncapped(self):
+        sched = RequestScheduler(Workload(jobs=make_jobs(2)))
+        assert sched.may_admit(10_000)
