@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Hot-path microbenchmark: wall-clock speed of the functional inner loop.
+
+Unlike the ``bench_fig*`` suite (which reports *simulated* time from the
+discrete-event kernel), this benchmark times the *host* wall-clock of the
+functional simulator — the Python/NumPy hot path that PR 2 vectorizes:
+KV-cache metadata ops, attention-visibility masks, and the per-layer
+attention kernel.  Three scenarios:
+
+- ``metadata``:  a synthetic mix of cache ops (allocate / seq_cp /
+  seq_rm / visibility queries) on a 2048-cell cache, in ops/sec;
+- ``single_job``: one PipeInfer generation on a 4-node functional
+  pipeline, in generated tokens per wall-second;
+- ``serving``: the PR-1 Poisson serving workload (8 requests multiplexed
+  through one pipeline), in generated tokens per wall-second.
+
+Results are written to ``BENCH_hotpath.json`` next to the repo root,
+together with the recorded pre-PR baseline, so the perf trajectory is
+tracked per PR.  Run modes:
+
+    python benchmarks/bench_hotpath.py            # full run, prints speedups
+    python benchmarks/bench_hotpath.py --smoke    # tiny sizes for CI
+    python benchmarks/bench_hotpath.py --update-baseline   # re-record baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro import (  # noqa: E402
+    EngineConfig,
+    FunctionalBackend,
+    GenerationJob,
+    PipeInferEngine,
+    TinyTransformer,
+    TransformerConfig,
+    Workload,
+    cluster_c,
+    run_engine,
+    run_serving,
+)
+from repro.models.kv_cache import KVCache  # noqa: E402
+from repro.models.transformer import perturbed_copy  # noqa: E402
+from repro.spec.draft import DraftParams  # noqa: E402
+from repro.workloads import make_prompt, poisson_arrivals  # noqa: E402
+
+#: Pre-PR baseline, measured at the PR-2 parent commit (6460791) on the
+#: reference container.  ``--update-baseline`` refreshes these numbers from
+#: a checkout of the old code; CI compares informationally only (machines
+#: differ), the gating comparison is run on one machine at PR time.
+BASELINE = {
+    "metadata_ops_per_sec": 7917.7,
+    "single_job_tokens_per_sec": 2.454,
+    "serving_tokens_per_sec": 10.014,
+}
+
+MODEL_CFG = TransformerConfig(
+    vocab=128, d_model=32, n_layers=4, n_heads=4, n_kv_heads=2, d_ff=64, seed=7
+)
+
+#: Functional-mode engine defaults (the cutoff admits the tiny model's
+#: flat confidences; everything else is the library default).
+ENGINE_CFG = EngineConfig(
+    draft=DraftParams(max_tokens=4, cutoff=0.02),
+    cutoff_recovery=0.01,
+    cutoff_decay=0.01,
+)
+
+
+def _backend(n_cells: int) -> FunctionalBackend:
+    target = TinyTransformer(MODEL_CFG)
+    draft = perturbed_copy(target, noise=0.15, seed=9)
+    return FunctionalBackend(target, draft, n_cells=n_cells)
+
+
+# ---------------------------------------------------------------------------
+# Scenarios
+# ---------------------------------------------------------------------------
+
+
+def bench_metadata(smoke: bool) -> float:
+    """Ops/sec over a synthetic cache-op mix mirroring the engines' stream."""
+    n_cells = 512 if smoke else 2048
+    rounds = 2 if smoke else 10
+    rng = np.random.default_rng(0)
+    t0 = time.perf_counter()
+    n_ops = 0
+    for _ in range(rounds):
+        cache = KVCache(n_cells)
+        n_seqs = 8
+        # Fill 3/4 of the cache with single-seq cells, round-robin seqs.
+        fill = (n_cells * 3) // 4
+        for pos in range(fill):
+            cache.allocate([(pos, {int(pos) % n_seqs})])
+            n_ops += 1
+        # Sequence traffic: copies, visibility queries, removals.
+        for i in range(fill):
+            src = int(rng.integers(0, n_seqs))
+            dst = int(rng.integers(0, n_seqs))
+            p0 = int(rng.integers(0, fill))
+            cache.seq_cp(src, dst, p0, p0 + 16)
+            cache.visible_cells(src, p0)
+            cache.seq_max_pos(dst)
+            cache.has_entry(dst, p0)
+            if i % 8 == 0:
+                cache.seq_rm(dst, p0, p0 + 8)
+            n_ops += 5
+    return n_ops / (time.perf_counter() - t0)
+
+
+def bench_single_job(smoke: bool) -> float:
+    """Generated tokens per wall-second: PipeInfer on a 4-node pipeline."""
+    n_generate = 12 if smoke else 64
+    prompt_len = 16 if smoke else 96
+    backend = _backend(n_cells=2048)
+    prompt = make_prompt("wikitext", length=prompt_len, vocab=MODEL_CFG.vocab)
+    job = GenerationJob(prompt=prompt, n_generate=n_generate)
+    t0 = time.perf_counter()
+    report = run_engine(PipeInferEngine, backend, cluster_c(4), job, ENGINE_CFG)
+    wall = time.perf_counter() - t0
+    assert len(report.tokens) == n_generate
+    return n_generate / wall
+
+
+def bench_serving(smoke: bool) -> float:
+    """Generated tokens per wall-second under the PR-1 Poisson workload."""
+    n_requests = 3 if smoke else 8
+    n_generate = 8 if smoke else 24
+    prompt_len = 16 if smoke else 64
+    kinds = ("wikitext", "code", "explain", "paper", "roleplay")
+    backend = _backend(n_cells=4096)
+    jobs = tuple(
+        GenerationJob(
+            prompt=make_prompt(kinds[i % len(kinds)], length=prompt_len,
+                               vocab=MODEL_CFG.vocab),
+            n_generate=n_generate,
+        )
+        for i in range(n_requests)
+    )
+    workload = Workload(
+        jobs=jobs, arrivals=poisson_arrivals(2.0, n_requests, seed=11)
+    )
+    t0 = time.perf_counter()
+    report = run_serving(PipeInferEngine, backend, cluster_c(4), workload, ENGINE_CFG)
+    wall = time.perf_counter() - t0
+    total = sum(report.token_counts().values())
+    assert total == n_requests * n_generate
+    return total / wall
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def run(smoke: bool) -> dict:
+    results = {}
+    results["metadata_ops_per_sec"] = bench_metadata(smoke)
+    results["single_job_tokens_per_sec"] = bench_single_job(smoke)
+    results["serving_tokens_per_sec"] = bench_serving(smoke)
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes for CI; skips speedup checks")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="print results formatted as the BASELINE dict")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: BENCH_hotpath.json, "
+                             "or BENCH_hotpath_smoke.json under --smoke so "
+                             "the committed full-run record is never "
+                             "clobbered by a smoke run)")
+    args = parser.parse_args(argv)
+    if args.out is None:
+        name = "BENCH_hotpath_smoke.json" if args.smoke else "BENCH_hotpath.json"
+        args.out = str(REPO_ROOT / name)
+
+    current = run(args.smoke)
+
+    if args.update_baseline:
+        print(json.dumps(current, indent=2))
+        return 0
+
+    # Smoke sizes differ from the recorded baseline's: no speedup claims.
+    speedup = {}
+    if not args.smoke:
+        for key, base in BASELINE.items():
+            if base and current.get(key):
+                speedup[key.replace("_per_sec", "_speedup")] = current[key] / base
+
+    payload = {
+        "smoke": args.smoke,
+        "baseline": BASELINE,
+        "current": current,
+        "speedup": speedup,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+
+    width = max(len(k) for k in current)
+    for key in current:
+        base = BASELINE.get(key)
+        line = f"{key:<{width}}  current={current[key]:>12.1f}"
+        if base and not args.smoke:
+            line += f"  baseline={base:>12.1f}  speedup={current[key] / base:.2f}x"
+        print(line)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,7 +29,7 @@ order.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.comm.payloads import CacheOp, CacheOpKind
 from repro.core.run_state import RunRecord
@@ -180,6 +180,44 @@ class MultibufferManager:
         """Return the canonical partition to the shared pool (serving mode)."""
         if self.canonical != 0:
             self.pool.release(self.canonical)
+
+
+class CellBudget:
+    """O(1) worst-case KV-cell accounting for serving admission.
+
+    The serving head throttles admission against the workers' bounded
+    cell capacity (functional caches cannot evict mid-flight).  The
+    committed total is maintained incrementally on admit/release instead
+    of being re-summed over every active request — and never by scanning
+    cache cells — so the admission check in the serving hot loop is O(1)
+    regardless of concurrency or cache size.
+
+    A request too large to ever fit is still admitted when it would run
+    alone — the same overflow a single-job run of it would hit, surfaced
+    rather than deadlocked.
+    """
+
+    def __init__(self, capacity: Optional[int]) -> None:
+        #: Worker shard cell capacity; None = unbounded (performance mode).
+        self.capacity = capacity
+        #: Sum of admitted requests' worst-case demands.
+        self.committed = 0
+        self._demands: Dict[int, int] = {}
+
+    def fits(self, demand: int) -> bool:
+        """Would admitting a request of ``demand`` cells stay in capacity?"""
+        if self.capacity is None:
+            return True
+        return self.committed + demand <= self.capacity or not self._demands
+
+    def admit(self, req_id: int, demand: int) -> None:
+        if req_id in self._demands:
+            raise ValueError(f"request {req_id} admitted twice")
+        self._demands[req_id] = demand
+        self.committed += demand
+
+    def release(self, req_id: int) -> None:
+        self.committed -= self._demands.pop(req_id, 0)
 
 
 def acquire_canonical(pool: SequencePool) -> "MultibufferManager":

@@ -50,6 +50,10 @@ class ChainState:
         self.tokens: List[int] = list(tokens)
         self._oracle = oracle
         self._states: Optional[List[int]] = None
+        #: Functional-mode incremental draft KV context (owned by
+        #: :class:`FunctionalBackend`; None for oracle chains).  Living on
+        #: the chain keeps it per-request under serving multiplexing.
+        self.draft_kv: Optional["_DraftKVState"] = None
         if oracle is not None:
             states = [oracle.init_state(())]
             for t in self.tokens:
@@ -272,6 +276,24 @@ class Backend(ABC):
 # ---------------------------------------------------------------------------
 
 
+class _DraftKVState:
+    """One chain's incremental draft-model KV context (head-side).
+
+    PipeInfer's head hosts the whole draft model (Section II-C), so its
+    drafting cost must be one forward pass per proposed token.  The cache
+    holds the chain prefix already evaluated; each proposal decodes only
+    the suffix beyond the longest common prefix instead of re-running the
+    full chain — turning per-token drafting from O(chain^2) to O(chain).
+    """
+
+    __slots__ = ("cache", "tokens")
+
+    def __init__(self, cache: KVCache) -> None:
+        self.cache = cache
+        #: Tokens whose cells the cache currently holds (positions 0..n).
+        self.tokens: List[int] = []
+
+
 class FunctionalBackend(Backend):
     """Real-math backend over :class:`TinyTransformer` target/draft models.
 
@@ -311,8 +333,41 @@ class FunctionalBackend(Backend):
         cache = self.draft.new_cache(len(prefix))
         return self.draft.decode(slots, cache)[0]
 
+    #: End bound for "trim the whole cached suffix" removals.
+    _DRAFT_SEQ_END = 1 << 40
+
+    def _draft_logits_incremental(self, chain: ChainState) -> np.ndarray:
+        """Last-token draft logits, decoding only past the cached prefix.
+
+        The chain's draft KV context survives across proposals (and across
+        reconciliations: diverged suffixes are trimmed with ``seq_rm`` and
+        re-decoded), so continuous speculation pays one draft forward per
+        token rather than one per token *per chain position*.
+        """
+        prefix = chain.tokens
+        st = chain.draft_kv
+        if st is None or len(prefix) > st.cache.n_cells:
+            st = _DraftKVState(self.draft.new_cache(max(64, 2 * len(prefix))))
+            chain.draft_kv = st
+        common = 0
+        limit = min(len(st.tokens), len(prefix) - 1)
+        while common < limit and st.tokens[common] == prefix[common]:
+            common += 1
+        # Cells beyond the common prefix hold a stale suffix (the head
+        # reconciled the chain) — or the already-evaluated last token,
+        # whose logits are wanted again; re-decode from there.
+        if common < len(st.tokens):
+            st.cache.seq_rm(0, common, self._DRAFT_SEQ_END)
+        slots = [
+            TokenSlot(token=prefix[i], pos=i, seq_ids=(0,),
+                      want_logits=(i == len(prefix) - 1))
+            for i in range(common, len(prefix))
+        ]
+        st.tokens = list(prefix)
+        return self.draft.decode(slots, st.cache)[0]
+
     def propose(self, chain: ChainState) -> Tuple[int, float]:
-        logits = self._draft_logits(chain.tokens)
+        logits = self._draft_logits_incremental(chain)
         probs = softmax_probs(logits)
         token = int(np.argmax(probs))
         return token, float(probs[token])
@@ -339,7 +394,12 @@ class FunctionalBackend(Backend):
     def compute_stage(self, ws, meta, hidden_in):
         cache: KVCache = ws.cache
         hidden = self.target.embed(meta.slots) if hidden_in is None else hidden_in
-        cells = cache.allocate([(s.pos, set(s.seq_ids)) for s in meta.slots])
+        # One ndarray of cell indices per batch; every layer's K/V write
+        # fancy-indexes with it directly (no per-layer list conversion).
+        cells = np.asarray(
+            cache.allocate([(s.pos, set(s.seq_ids)) for s in meta.slots]),
+            dtype=np.intp,
+        )
         return self.target.forward_stage(
             hidden, meta.slots, cache, ws.layer_range, cells=cells
         )

@@ -1,4 +1,4 @@
-"""llama.cpp-style KV cache with per-cell sequence metadata.
+"""llama.cpp-style KV cache with vectorized per-cell sequence metadata.
 
 Each cache cell stores a token position and the *set of sequence ids* the
 entry belongs to (paper Section II-B).  Sequence-level operations
@@ -7,6 +7,21 @@ cells from one sequence to another adds the destination id to the cells'
 sets — the actual K/V tensors are shared, which is why the paper's
 "buffer swap" between a speculative partition and the canonical sequence
 is near-free.
+
+The metadata plane is stored as NumPy state rather than Python sets:
+
+- ``pos``: ``(n_cells,)`` int64 positions, -1 when free;
+- ``_member``: ``(n_cells, n_seq_cols)`` boolean membership matrix, with
+  columns grown on demand as higher sequence ids appear;
+- ``_free``: a min-heap of free cell indices, so allocation hands out the
+  lowest-indexed free cells (the same order a linear scan would) in
+  O(log n) instead of scanning every cell.
+
+Sequence ops and queries are masked-array expressions over this state —
+O(1) or one vectorized pass — with semantics identical to the retained
+pure-Python reference (:mod:`repro.models.kv_cache_ref`), which a
+differential property test asserts: positional dedupe in ``seq_cp``,
+free-on-empty, strict/inclusive visibility.
 
 The cache is used at two fidelity levels:
 
@@ -23,17 +38,40 @@ forward but tokens do not attend to themselves ahead of their position).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+import heapq
+from typing import Iterable, List, Sequence, Set, Tuple
 
 import numpy as np
+
+#: Initial sequence-id capacity of the membership matrix.
+_INITIAL_SEQ_COLS = 8
 
 
 class KVCacheError(RuntimeError):
     """Raised on cache misuse: overflow, overwriting live cells, bad ranges."""
 
 
+class _SeqsView:
+    """Read-only per-cell sequence sets derived from the membership matrix.
+
+    Kept for API compatibility (``cache.seqs[cell] == {0, 2}``); mutation
+    goes through the sequence ops, never through this view.
+    """
+
+    __slots__ = ("_cache",)
+
+    def __init__(self, cache: "KVCache") -> None:
+        self._cache = cache
+
+    def __getitem__(self, cell: int) -> Set[int]:
+        return {int(s) for s in np.flatnonzero(self._cache._member[cell])}
+
+    def __len__(self) -> int:
+        return self._cache.n_cells
+
+
 class KVCache:
-    """Fixed-capacity KV cache with sequence metadata.
+    """Fixed-capacity KV cache with vectorized sequence metadata.
 
     Args:
         n_cells: total cell capacity.
@@ -56,8 +94,9 @@ class KVCache:
         self.kv_dim = kv_dim
         #: cell -> position (-1 when free).
         self.pos = np.full(n_cells, -1, dtype=np.int64)
-        #: cell -> set of sequence ids.
-        self.seqs: List[Set[int]] = [set() for _ in range(n_cells)]
+        self._member = np.zeros((n_cells, _INITIAL_SEQ_COLS), dtype=bool)
+        #: Min-heap of free cells; ``range`` is already heap-ordered.
+        self._free: List[int] = list(range(n_cells))
         if n_layers > 0:
             if kv_dim <= 0:
                 raise ValueError("tensor-backed cache needs kv_dim > 0")
@@ -67,50 +106,92 @@ class KVCache:
             self.k = None
             self.v = None
 
+    # -- metadata views ----------------------------------------------------------
+
+    @property
+    def seqs(self) -> _SeqsView:
+        """cell -> set of sequence ids (read-only compatibility view)."""
+        return _SeqsView(self)
+
+    def _ensure_seq(self, seq: int) -> None:
+        """Grow the membership matrix to cover column ``seq``."""
+        if seq < 0:
+            raise KVCacheError(f"invalid sequence id {seq}")
+        cols = self._member.shape[1]
+        if seq < cols:
+            return
+        while cols <= seq:
+            cols *= 2
+        grown = np.zeros((self.n_cells, cols), dtype=bool)
+        grown[:, : self._member.shape[1]] = self._member
+        self._member = grown
+
+    def _col(self, seq: int) -> bool:
+        """True when ``seq`` has a column (i.e. may have members)."""
+        return 0 <= seq < self._member.shape[1]
+
+    def _release(self, cells: np.ndarray) -> None:
+        """Mark ``cells`` free and return them to the allocator."""
+        self.pos[cells] = -1
+        for c in cells:
+            heapq.heappush(self._free, int(c))
+
     # -- allocation ------------------------------------------------------------
 
     @property
     def n_used(self) -> int:
-        return int(np.count_nonzero(self.pos >= 0))
+        return self.n_cells - len(self._free)
 
     @property
     def n_free(self) -> int:
-        return self.n_cells - self.n_used
+        return len(self._free)
 
     def allocate(self, entries: Sequence[Tuple[int, Iterable[int]]]) -> List[int]:
         """Allocate one cell per (pos, seq_ids) entry; returns cell indices.
 
         All layers of a decode batch share these indices (each layer writes
         its own K/V row at the same cell), mirroring llama.cpp's slot
-        allocation per ``llama_decode``.
+        allocation per ``llama_decode``.  Cells are handed out lowest
+        index first, matching the linear-scan order of the reference
+        implementation.
 
         Raises:
             KVCacheError: when the cache is full.
         """
-        free = np.flatnonzero(self.pos < 0)
-        if len(free) < len(entries):
+        if len(self._free) < len(entries):
             raise KVCacheError(
-                f"cache overflow: need {len(entries)} cells, {len(free)} free"
+                f"cache overflow: need {len(entries)} cells, "
+                f"{len(self._free)} free"
             )
         cells = []
-        for (p, seq_ids), cell in zip(entries, free):
-            cell = int(cell)
+        for p, seq_ids in entries:
             seq_ids = set(seq_ids)
             if not seq_ids:
                 raise KVCacheError("a cell must belong to at least one sequence")
             if p < 0:
                 raise KVCacheError(f"invalid position {p}")
+            if min(seq_ids) < 0:
+                raise KVCacheError(f"invalid sequence id {min(seq_ids)}")
+            self._ensure_seq(max(seq_ids))
+            cell = heapq.heappop(self._free)
             self.pos[cell] = p
-            self.seqs[cell] = seq_ids
+            self._member[cell, list(seq_ids)] = True
             cells.append(cell)
         return cells
 
-    def write(self, layer: int, cells: Sequence[int], k: np.ndarray, v: np.ndarray) -> None:
-        """Store K/V rows for ``cells`` at ``layer`` (tensor-backed only)."""
+    def write(self, layer: int, cells, k: np.ndarray, v: np.ndarray) -> None:
+        """Store K/V rows for ``cells`` at ``layer`` (tensor-backed only).
+
+        ``cells`` should be an integer ndarray (the engines convert once
+        per batch and reuse it across layers); sequences are accepted and
+        converted for convenience.
+        """
         if self.k is None:
             raise KVCacheError("metadata-only cache cannot store tensors")
-        self.k[layer, list(cells)] = k
-        self.v[layer, list(cells)] = v
+        if not isinstance(cells, np.ndarray):
+            cells = np.asarray(cells, dtype=np.intp)
+        self.k[layer, cells] = k
+        self.v[layer, cells] = v
 
     # -- sequence operations -----------------------------------------------------
 
@@ -122,50 +203,61 @@ class KVCache:
         destination already holds is skipped: a second (seq, pos) cell
         would double-count that key in attention, and interval metadata
         (:class:`~repro.models.range_cache.RangeKVCache`) cannot represent
-        the duplicate.
+        the duplicate.  When several source cells share a position, the
+        lowest-indexed one is copied (scan order of the reference).
         """
         self._check_range(p0, p1)
         if seq_src == seq_dst:
             return 0
-        dst_positions = {
-            int(self.pos[c])
-            for c in np.flatnonzero(self.pos >= 0)
-            if seq_dst in self.seqs[int(c)]
-        }
-        n = 0
-        for cell in self._cells_of(seq_src, p0, p1):
-            p = int(self.pos[cell])
-            if p in dst_positions:
-                continue
-            self.seqs[cell].add(seq_dst)
-            dst_positions.add(p)
-            n += 1
-        return n
+        if not self._col(seq_src):
+            if seq_src < 0:
+                raise KVCacheError(f"invalid sequence id {seq_src}")
+            return 0
+        cand = np.flatnonzero(
+            self._member[:, seq_src] & (self.pos >= p0) & (self.pos < p1)
+        )
+        if cand.size == 0:
+            return 0
+        self._ensure_seq(seq_dst)
+        # First cell per distinct source position, then drop positions the
+        # destination already holds.
+        uniq_pos, first = np.unique(self.pos[cand], return_index=True)
+        dst_pos = self.pos[self._member[:, seq_dst] & (self.pos >= 0)]
+        chosen = cand[first[~np.isin(uniq_pos, dst_pos)]]
+        self._member[chosen, seq_dst] = True
+        return int(chosen.size)
 
     def seq_rm(self, seq: int, p0: int, p1: int) -> int:
         """Remove ``seq`` from cells with p0 <= pos < p1; free emptied cells."""
         self._check_range(p0, p1)
-        n = 0
-        for cell in self._cells_of(seq, p0, p1):
-            self.seqs[cell].discard(seq)
-            if not self.seqs[cell]:
-                self.pos[cell] = -1
-            n += 1
-        return n
+        if not self._col(seq):
+            return 0
+        hit = np.flatnonzero(
+            self._member[:, seq] & (self.pos >= p0) & (self.pos < p1)
+        )
+        if hit.size == 0:
+            return 0
+        self._member[hit, seq] = False
+        emptied = hit[~self._member[hit].any(axis=1)]
+        if emptied.size:
+            self._release(emptied)
+        return int(hit.size)
 
     def seq_keep(self, seq: int) -> int:
         """Drop every sequence except ``seq``; free cells not in it."""
-        n = 0
-        for cell in range(self.n_cells):
-            if self.pos[cell] < 0:
-                continue
-            if seq in self.seqs[cell]:
-                self.seqs[cell] = {seq}
-            else:
-                self.seqs[cell] = set()
-                self.pos[cell] = -1
-                n += 1
-        return n
+        live = self.pos >= 0
+        has_col = self._col(seq)
+        if has_col:
+            keep = live & self._member[:, seq]
+        else:
+            keep = np.zeros(self.n_cells, dtype=bool)
+        drop = np.flatnonzero(live & ~keep)
+        self._member[:, :] = False
+        if has_col:
+            self._member[keep, seq] = True
+        if drop.size:
+            self._release(drop)
+        return int(drop.size)
 
     def seq_broadcast(self, seq_src: int, p0: int, p1: int, targets: Iterable[int]) -> int:
         """Copy ``seq_src``'s cells in range into every sequence in ``targets``.
@@ -182,20 +274,25 @@ class KVCache:
 
     def seq_max_pos(self, seq: int) -> int:
         """Highest position stored for ``seq``, or -1 when empty."""
-        best = -1
-        for cell in range(self.n_cells):
-            if self.pos[cell] >= 0 and seq in self.seqs[cell] and self.pos[cell] > best:
-                best = int(self.pos[cell])
-        return best
+        if not self._col(seq):
+            return -1
+        held = self.pos[self._member[:, seq] & (self.pos >= 0)]
+        return int(held.max()) if held.size else -1
 
     def seq_cells(self, seq: int) -> List[int]:
         """Cells belonging to ``seq``, sorted by position."""
-        cells = [c for c in range(self.n_cells) if self.pos[c] >= 0 and seq in self.seqs[c]]
-        return sorted(cells, key=lambda c: int(self.pos[c]))
+        if not self._col(seq):
+            return []
+        cells = np.flatnonzero(self._member[:, seq] & (self.pos >= 0))
+        order = np.argsort(self.pos[cells], kind="stable")
+        return [int(c) for c in cells[order]]
 
     def seq_positions(self, seq: int) -> List[int]:
         """Sorted positions stored for ``seq``."""
-        return [int(self.pos[c]) for c in self.seq_cells(seq)]
+        if not self._col(seq):
+            return []
+        cells = np.flatnonzero(self._member[:, seq] & (self.pos >= 0))
+        return sorted(int(p) for p in self.pos[cells])
 
     def visible_cells(self, seq: int, pos: int, inclusive: bool = True) -> np.ndarray:
         """Cell indices visible to a query at (seq, pos).
@@ -204,26 +301,47 @@ class KVCache:
         position; with ``inclusive`` (the default, matching causal
         self-attention) the query's own position is visible too.
         """
-        mask = self.pos >= 0
+        if not self._col(seq):
+            return np.empty(0, dtype=np.int64)
+        mask = self._member[:, seq] & (self.pos >= 0)
         if inclusive:
-            idx = np.flatnonzero(mask & (self.pos <= pos))
+            mask &= self.pos <= pos
         else:
-            idx = np.flatnonzero(mask & (self.pos < pos))
-        return np.array([c for c in idx if seq in self.seqs[c]], dtype=np.int64)
+            mask &= self.pos < pos
+        return np.flatnonzero(mask).astype(np.int64)
+
+    def visible_matrix(
+        self,
+        seq_ids: Sequence[int],
+        positions: Sequence[int],
+        inclusive: bool = True,
+    ) -> np.ndarray:
+        """Batched visibility: boolean ``(n_tokens, n_cells)`` mask.
+
+        Row *i* is ``visible_cells(seq_ids[i], positions[i])`` as a mask.
+        Visibility depends only on cache metadata, never on the layer, so
+        the functional transformer computes this once per decode batch and
+        reuses it across its whole layer range.
+        """
+        seq_ids = np.asarray(seq_ids, dtype=np.int64)
+        positions = np.asarray(positions, dtype=np.int64)
+        cols = self._member.shape[1]
+        valid = (seq_ids >= 0) & (seq_ids < cols)
+        member = self._member[:, np.clip(seq_ids, 0, cols - 1)].T & valid[:, None]
+        live = self.pos >= 0
+        if inclusive:
+            reach = self.pos[None, :] <= positions[:, None]
+        else:
+            reach = self.pos[None, :] < positions[:, None]
+        return member & live[None, :] & reach
 
     def has_entry(self, seq: int, pos: int) -> bool:
         """True when ``seq`` already holds a cell at position ``pos``."""
-        idx = np.flatnonzero(self.pos == pos)
-        return any(seq in self.seqs[c] for c in idx)
+        if not self._col(seq):
+            return False
+        return bool(np.any(self._member[:, seq] & (self.pos == pos) & (self.pos >= 0)))
 
     # -- internals ---------------------------------------------------------------
-
-    def _cells_of(self, seq: int, p0: int, p1: int) -> List[int]:
-        out = []
-        for cell in np.flatnonzero((self.pos >= p0) & (self.pos < p1)):
-            if seq in self.seqs[int(cell)]:
-                out.append(int(cell))
-        return out
 
     @staticmethod
     def _check_range(p0: int, p1: int) -> None:

@@ -60,6 +60,46 @@ def swiglu(x: np.ndarray, w_gate: np.ndarray, w_up: np.ndarray, w_down: np.ndarr
     return (silu(x @ w_gate) * (x @ w_up)) @ w_down
 
 
+def batched_grouped_attention(
+    q: np.ndarray,
+    k_cells: np.ndarray,
+    v_cells: np.ndarray,
+    mask: np.ndarray,
+    n_kv_heads: int,
+) -> np.ndarray:
+    """Masked attention for a whole decode batch over shared cache cells.
+
+    The batched form of :func:`grouped_attention`: instead of gathering
+    each token's visible cells and attending one token at a time, every
+    token attends over the same cell block with a per-token boolean
+    visibility mask (invisible cells are driven to -inf before softmax,
+    so their weights are exactly zero).
+
+    Args:
+        q: (n_tokens, n_heads, head_dim) queries (already rotated).
+        k_cells: (n_cells, kv_dim) keys for the shared cell block.
+        v_cells: (n_cells, kv_dim) values for the shared cell block.
+        mask: (n_tokens, n_cells) boolean visibility; every row must have
+            at least one visible cell (a token always sees its own entry).
+        n_kv_heads: KV head count; query heads are grouped onto them.
+
+    Returns:
+        (n_tokens, n_heads, head_dim) attention output per token.
+    """
+    n_tokens, n_heads, head_dim = q.shape
+    group = n_heads // n_kv_heads
+    n_cells = k_cells.shape[0]
+    k = k_cells.reshape(n_cells, n_kv_heads, head_dim)
+    v = v_cells.reshape(n_cells, n_kv_heads, head_dim)
+    # Group query heads onto their KV head: (tokens, kv_heads, group, hd).
+    qg = q.reshape(n_tokens, n_kv_heads, group, head_dim)
+    scores = np.einsum("tkgd,ckd->tkgc", qg, k) / np.sqrt(head_dim)
+    scores = np.where(mask[:, None, None, :], scores, -np.inf)
+    weights = softmax(scores, axis=-1)
+    out = np.einsum("tkgc,ckd->tkgd", weights, v)
+    return out.reshape(n_tokens, n_heads, head_dim)
+
+
 def grouped_attention(
     q: np.ndarray,
     k_cells: np.ndarray,

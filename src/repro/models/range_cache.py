@@ -136,6 +136,22 @@ class RangeKVCache:
             n += self.seq_cp(seq_src, dst, p0, p1)
         return n
 
+    def seq_keep(self, seq: int) -> int:
+        """Drop every sequence except ``seq``; returns positions dropped.
+
+        Interval metadata has no cell identity, so the return value counts
+        dropped *positions* rather than freed cells (two sequences at one
+        position may or may not share a cell — unrepresentable here); the
+        observable per-sequence state matches :class:`KVCache.seq_keep`.
+        """
+        n = 0
+        for other, ivals in self._seqs.items():
+            if other != seq:
+                n += len(ivals)
+        kept = self._seqs.get(seq)
+        self._seqs = {seq: kept} if kept is not None else {}
+        return n
+
     # -- queries (KVCache-compatible) ---------------------------------------
 
     def seq_max_pos(self, seq: int) -> int:

@@ -24,7 +24,7 @@ from repro.comm.payloads import TokenSlot
 from repro.models.kv_cache import KVCache
 from repro.models.layers import (
     apply_rope,
-    grouped_attention,
+    batched_grouped_attention,
     rms_norm,
     rope_frequencies,
     swiglu,
@@ -139,6 +139,15 @@ class TinyTransformer:
         positions = np.array([s.pos for s in slots], dtype=np.int64)
         if cells is None:
             cells = cache.allocate([(s.pos, set(s.seq_ids)) for s in slots])
+        cells = np.asarray(cells, dtype=np.intp)
+        # Visibility depends only on cache metadata (fixed once the batch's
+        # cells are allocated), never on the layer: one mask per batch,
+        # compacted to the cells any token can see.
+        visible = cache.visible_matrix(
+            [s.primary_seq for s in slots], positions
+        )
+        used = np.flatnonzero(visible.any(axis=0))
+        mask = visible[:, used]
         h = hidden
         for layer in range(lo, hi):
             w = self.layers[layer]
@@ -150,13 +159,9 @@ class TinyTransformer:
             q = apply_rope(q, positions, self._freqs)
             k = apply_rope(k, positions, self._freqs)
             cache.write(local, cells, k.reshape(len(slots), cfg.kv_dim), v)
-            attn_out = np.empty((len(slots), cfg.d_model))
-            for i, slot in enumerate(slots):
-                visible = cache.visible_cells(slot.primary_seq, slot.pos)
-                out = grouped_attention(
-                    q[i], cache.k[local, visible], cache.v[local, visible], cfg.n_kv_heads
-                )
-                attn_out[i] = out.reshape(cfg.d_model)
+            attn_out = batched_grouped_attention(
+                q, cache.k[local, used], cache.v[local, used], mask, cfg.n_kv_heads
+            ).reshape(len(slots), cfg.d_model)
             h = h + attn_out @ self.layers[layer].wo
             x = rms_norm(h, w.ffn_norm)
             h = h + swiglu(x, w.w_gate, w.w_up, w.w_down)

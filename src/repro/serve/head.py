@@ -41,12 +41,12 @@ from repro.core.head import (
     process_run_logits,
     spec_allowed,
 )
-from repro.core.multibuffer import SEQ_END, acquire_canonical
+from repro.core.multibuffer import SEQ_END, CellBudget, acquire_canonical
 from repro.core.run_state import RequestContext, RunKind
 from repro.engines.backend import apply_cache_op
 from repro.metrics.collectors import MetricsCollector
 from repro.metrics.report import RequestReport
-from repro.serve.scheduler import RequestScheduler
+from repro.serve.scheduler import RequestScheduler, worst_case_cell_demand
 from repro.util.fifo import SequencePool
 
 
@@ -88,7 +88,7 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
     first_target = engine.target_ranks()[0]
 
     pool = SequencePool(cfg.n_seq_partitions)
-    cell_capacity = engine.backend.worker_cell_capacity()
+    budget = CellBudget(engine.backend.worker_cell_capacity())
     active: Dict[int, RequestContext] = {}
     #: Request ids in decode-dispatch order — MPI non-overtaking returns
     #: logits in exactly this order, so the front names the owner of any
@@ -98,39 +98,16 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
     rotation: Deque[int] = deque()
     reports: List[RequestReport] = []
 
-    def cell_demand(job) -> int:
-        """Worst-case KV cells one request occupies at its peak.
-
-        Accepted cells persist until the request releases its canonical
-        partition; in-flight drafts add at most the lookahead plus one
-        micro-batch (verification can overshoot by a batch).
-        """
-        return (
-            len(job.prompt)
-            + job.n_generate
-            + cfg.lookahead_cap
-            + cfg.microbatch_size
-        )
-
-    def cells_fit(job) -> bool:
-        """Would admitting ``job`` keep the shards within cell capacity?
-
-        Bounded caches (functional mode) cannot evict mid-flight, so
-        admission waits for room.  A request too large to ever fit is
-        still admitted alone — the same overflow a single-job run of it
-        would hit, surfaced rather than deadlocked.
-        """
-        if cell_capacity is None:
-            return True
-        committed = sum(cell_demand(c.job) for c in active.values())
-        return committed + cell_demand(job) <= cell_capacity or not active
-
     def admit_ready() -> None:
+        # Bounded caches (functional mode) cannot evict mid-flight, so
+        # admission waits for cell room.  The budget check is O(1): the
+        # committed total is maintained on admit/release rather than
+        # re-summed over active requests or scanned from cache cells.
         while (
             scheduler.ready(kernel.now)
             and pool.available()
             and scheduler.may_admit(len(active))
-            and cells_fit(scheduler.peek_next().job)
+            and budget.fits(worst_case_cell_demand(scheduler.peek_next().job, cfg))
         ):
             req = scheduler.pop_ready(kernel.now)
             ctx = new_request_context(
@@ -142,6 +119,7 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
                 arrival=req.arrival,
             )
             ctx.admitted_at = kernel.now
+            budget.admit(req.req_id, worst_case_cell_demand(req.job, cfg))
             active[ctx.req_id] = ctx
             rotation.append(ctx.req_id)
             dispatch_prefill(engine, ctx)
@@ -159,6 +137,7 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
         engine.send_cache_ops(first_target, ctx.kv.ops_for_request_release())
         ctx.kv.release_canonical()
         ctx.finished_at = kernel.now
+        budget.release(ctx.req_id)
         del active[ctx.req_id]
         rotation.remove(ctx.req_id)
         reports.append(_report_for(ctx))

@@ -30,6 +30,23 @@ class Request:
     arrival: float
 
 
+def worst_case_cell_demand(job: GenerationJob, config) -> int:
+    """Worst-case KV cells ``job`` occupies at its peak, from shapes alone.
+
+    Accepted cells persist until the request releases its canonical
+    partition; in-flight drafts add at most the lookahead plus one
+    micro-batch (verification can overshoot by a batch).  Computed once
+    per request at admission time — the admission check itself never
+    scans cache cells (see :class:`repro.core.multibuffer.CellBudget`).
+    """
+    return (
+        len(job.prompt)
+        + job.n_generate
+        + config.lookahead_cap
+        + config.microbatch_size
+    )
+
+
 @dataclass(frozen=True)
 class Workload:
     """A stream of jobs with an arrival trace.

@@ -19,6 +19,7 @@ from typing import Dict, List, Sequence, Set
 
 import numpy as np
 
+from repro.models.layers import batched_grouped_attention
 from repro.spec.tree import SpecTree
 
 
@@ -31,6 +32,36 @@ def tree_attention_mask(tree: SpecTree) -> np.ndarray:
         for j in tree.ancestors(i):
             mask[i, j] = True
     return mask
+
+
+def tree_batch_attention(
+    tree: SpecTree,
+    q: np.ndarray,
+    k_cells: np.ndarray,
+    v_cells: np.ndarray,
+    n_kv_heads: int,
+) -> np.ndarray:
+    """Attend a whole tree-verification batch in one masked kernel call.
+
+    Uses the explicit ancestor mask with the shared batched attention
+    kernel (:func:`repro.models.layers.batched_grouped_attention`) — the
+    mask-based twin of the KV-cache sequence-metadata path the engines
+    take, so tests can cross-check the two mechanisms numerically, not
+    just on mask equality.
+
+    Args:
+        tree: the speculation tree (defines the (n, n) visibility).
+        q: (n_nodes, n_heads, head_dim) queries, in tree-node order.
+        k_cells: (n_nodes, kv_dim) keys for the batch, in tree-node order.
+        v_cells: (n_nodes, kv_dim) values, in tree-node order.
+        n_kv_heads: KV head count.
+
+    Returns:
+        (n_nodes, n_heads, head_dim) attention output per tree node.
+    """
+    return batched_grouped_attention(
+        q, k_cells, v_cells, tree_attention_mask(tree), n_kv_heads
+    )
 
 
 def assign_tree_seqs(tree: SpecTree, seq_ids: Sequence[int]) -> List[Set[int]]:

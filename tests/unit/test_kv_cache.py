@@ -33,6 +33,11 @@ class TestAllocation:
         with pytest.raises(KVCacheError):
             cache.allocate([(-1, {0})])
 
+    def test_negative_seq_id_rejected(self, cache):
+        # A negative id must not wrap to a high membership-matrix column.
+        with pytest.raises(KVCacheError):
+            cache.allocate([(0, {-1, 3})])
+
     def test_multi_seq_cell(self, cache):
         (cell,) = cache.allocate([(5, {0, 2, 3})])
         assert cache.seqs[cell] == {0, 2, 3}
@@ -112,6 +117,51 @@ class TestQueries:
         cache.allocate([(5, {0}), (2, {0}), (9, {0})])
         positions = [int(cache.pos[c]) for c in cache.seq_cells(0)]
         assert positions == [2, 5, 9]
+
+
+class TestBatchedQueries:
+    def test_visible_matrix_matches_per_token_queries(self, cache):
+        cache.allocate([(0, {0}), (1, {0}), (2, {0}), (1, {1}), (2, {1})])
+        seqs = [0, 1, 0, 1]
+        positions = [2, 1, 0, 5]
+        mat = cache.visible_matrix(seqs, positions)
+        assert mat.shape == (4, cache.n_cells)
+        for i, (s, p) in enumerate(zip(seqs, positions)):
+            assert list(np.flatnonzero(mat[i])) == list(cache.visible_cells(s, p))
+
+    def test_visible_matrix_strict(self, cache):
+        cache.allocate([(0, {0}), (1, {0})])
+        mat = cache.visible_matrix([0], [1], inclusive=False)
+        assert list(np.flatnonzero(mat[0])) == list(
+            cache.visible_cells(0, 1, inclusive=False)
+        )
+
+    def test_visible_matrix_unknown_seq_is_empty(self, cache):
+        cache.allocate([(0, {0})])
+        mat = cache.visible_matrix([999], [10])
+        assert not mat.any()
+
+    def test_counters_track_alloc_and_free(self, cache):
+        assert cache.n_free == 16 and cache.n_used == 0
+        cache.allocate([(i, {0}) for i in range(5)])
+        assert cache.n_used == 5 and cache.n_free == 11
+        cache.seq_rm(0, 0, 3)
+        assert cache.n_used == 2 and cache.n_free == 14
+
+    def test_freed_cells_reused_lowest_first(self, cache):
+        cells = cache.allocate([(i, {0}) for i in range(6)])
+        cache.seq_rm(0, 1, 3)  # frees cells[1], cells[2]
+        again = cache.allocate([(10, {1}), (11, {1}), (12, {1})])
+        # Lowest free indices first: the two freed cells, then the next
+        # never-used cell — the reference scan order.
+        assert again == [cells[1], cells[2], 6]
+
+    def test_seqs_view_reflects_ops(self, cache):
+        (cell,) = cache.allocate([(0, {1, 3})])
+        assert cache.seqs[cell] == {1, 3}
+        cache.seq_rm(3, 0, 1)
+        assert cache.seqs[cell] == {1}
+        assert len(cache.seqs) == cache.n_cells
 
 
 class TestTensorBacked:

@@ -114,3 +114,47 @@ class TestReleaseAndLifecycle:
         mb.on_spec_dispatch(s)
         mb.on_chain_reset()
         assert mb.chain_seq == 0
+
+
+class TestCellBudget:
+    def test_unbounded_always_fits(self):
+        from repro.core.multibuffer import CellBudget
+
+        b = CellBudget(None)
+        assert b.fits(10**9)
+
+    def test_commit_and_release_roundtrip(self):
+        from repro.core.multibuffer import CellBudget
+
+        b = CellBudget(100)
+        assert b.fits(60)
+        b.admit(1, 60)
+        assert b.committed == 60
+        assert b.fits(40) and not b.fits(41)
+        b.admit(2, 40)
+        assert not b.fits(1)
+        b.release(1)
+        assert b.committed == 40 and b.fits(60)
+
+    def test_oversized_request_admits_alone(self):
+        from repro.core.multibuffer import CellBudget
+
+        b = CellBudget(100)
+        assert b.fits(500)  # nothing active: surfaces the overflow
+        b.admit(1, 500)
+        assert not b.fits(1)  # but nothing else joins it
+
+    def test_double_admit_rejected(self):
+        from repro.core.multibuffer import CellBudget
+
+        b = CellBudget(100)
+        b.admit(1, 10)
+        with pytest.raises(ValueError):
+            b.admit(1, 10)
+
+    def test_release_unknown_request_is_noop(self):
+        from repro.core.multibuffer import CellBudget
+
+        b = CellBudget(100)
+        b.release(42)
+        assert b.committed == 0

@@ -72,3 +72,13 @@ class TestScheduler:
     def test_uncapped(self):
         sched = RequestScheduler(Workload(jobs=make_jobs(2)))
         assert sched.may_admit(10_000)
+
+
+class TestWorstCaseCellDemand:
+    def test_demand_formula(self):
+        from repro import EngineConfig, GenerationJob
+        from repro.serve.scheduler import worst_case_cell_demand
+
+        cfg = EngineConfig(lookahead_cap=16, microbatch_size=4)
+        job = GenerationJob(prompt=tuple(range(1, 9)), n_generate=24)
+        assert worst_case_cell_demand(job, cfg) == 8 + 24 + 16 + 4
