@@ -16,7 +16,11 @@ attention kernel.  Three scenarios:
 
 Results are written to ``BENCH_hotpath.json`` next to the repo root,
 together with the recorded pre-PR baseline, so the perf trajectory is
-tracked per PR.  Run modes:
+tracked per PR.  Committed-record protocol (containers share noisy
+hosts): re-record with ``--repeat 5`` — the full-run ``current`` section
+then keeps the best run (noise is one-sided: neighbors only ever slow a
+run down), while ``smoke_reference`` keeps per-metric medians so the CI
+regression warning is not trigger-happy.  Run modes:
 
     python benchmarks/bench_hotpath.py            # full run, prints speedups
     python benchmarks/bench_hotpath.py --smoke    # tiny sizes for CI
@@ -131,8 +135,13 @@ def bench_single_job(smoke: bool) -> float:
     return n_generate / wall
 
 
-def bench_serving(smoke: bool) -> float:
-    """Generated tokens per wall-second under the PR-1 Poisson workload."""
+def bench_serving(smoke: bool):
+    """Generated tokens per wall-second under the PR-1 Poisson workload.
+
+    Returns (tokens_per_sec, max_fusion_width).  The fusion width is
+    asserted > 1 so this benchmark — including the CI smoke run — always
+    exercises the fused multi-run stage path, not just singleton windows.
+    """
     n_requests = 3 if smoke else 8
     n_generate = 8 if smoke else 24
     prompt_len = 16 if smoke else 64
@@ -154,7 +163,12 @@ def bench_serving(smoke: bool) -> float:
     wall = time.perf_counter() - t0
     total = sum(report.token_counts().values())
     assert total == n_requests * n_generate
-    return total / wall
+    max_width = max(report.fusion_width, default=0)
+    assert max_width > 1, (
+        f"serving load produced no multi-run fusion windows: "
+        f"{report.fusion_width}"
+    )
+    return total / wall, max_width
 
 
 # ---------------------------------------------------------------------------
@@ -162,12 +176,86 @@ def bench_serving(smoke: bool) -> float:
 # ---------------------------------------------------------------------------
 
 
+#: Metrics compared by ``--check-against`` (higher is better).
+TRACKED_METRICS = (
+    "metadata_ops_per_sec",
+    "single_job_tokens_per_sec",
+    "serving_tokens_per_sec",
+)
+
+#: Relative drop that triggers a regression warning.
+REGRESSION_TOLERANCE = 0.20
+
+
 def run(smoke: bool) -> dict:
     results = {}
     results["metadata_ops_per_sec"] = bench_metadata(smoke)
     results["single_job_tokens_per_sec"] = bench_single_job(smoke)
-    results["serving_tokens_per_sec"] = bench_serving(smoke)
+    serving, max_width = bench_serving(smoke)
+    results["serving_tokens_per_sec"] = serving
+    results["serving_max_fusion_width"] = max_width
     return results
+
+
+def run_repeated(smoke: bool, repeat: int) -> dict:
+    """``repeat`` samples reduced per the committed-record protocol.
+
+    Full runs keep the best sample (by serving throughput): noisy-
+    neighbor interference only ever slows a run down, so the fastest
+    sample is the closest to the machine's true speed.  Smoke runs keep
+    per-metric medians — the reference the CI warning compares against
+    should be a typical run, not a lucky one.
+    """
+    samples = [run(smoke) for _ in range(repeat)]
+    if len(samples) == 1:
+        return samples[0]
+    if not smoke:
+        return max(samples, key=lambda s: s["serving_tokens_per_sec"])
+    import statistics
+
+    return {
+        key: (max(s[key] for s in samples) if key == "serving_max_fusion_width"
+              else statistics.median(s[key] for s in samples))
+        for key in samples[0]
+    }
+
+
+def check_against(current: dict, path: str, smoke: bool) -> int:
+    """Compare against a committed record; warn (non-gating) on regression.
+
+    Smoke runs compare against the committed record's ``smoke_reference``
+    section (same tiny sizes); full runs compare against its ``current``.
+    Emits GitHub-Actions ``::warning::`` annotations so the drop is
+    visible on the workflow run without failing it (machines differ; the
+    gating comparison is run on one machine at PR time).
+    """
+    doc = json.loads(Path(path).read_text())
+    section = "smoke_reference" if smoke else "current"
+    ref = doc.get(section)
+    if not ref:
+        print(f"::warning::bench-smoke: no {section!r} section in {path}; "
+              "nothing to compare against")
+        return 0
+    n_warned = 0
+    n_compared = 0
+    for key in TRACKED_METRICS:
+        base, cur = ref.get(key), current.get(key)
+        if not base or not cur:
+            n_warned += 1
+            print(f"::warning::bench-smoke: {key} missing from "
+                  f"{'reference' if not base else 'current'} results; "
+                  "not compared")
+            continue
+        n_compared += 1
+        if cur < (1.0 - REGRESSION_TOLERANCE) * base:
+            n_warned += 1
+            print(f"::warning::bench-smoke: {key} regressed to {cur:.1f} "
+                  f"from reference {base:.1f} "
+                  f"({cur / base:.2f}x, tolerance {1 - REGRESSION_TOLERANCE:.2f}x)")
+    if not n_warned:
+        print(f"check-against {path}: all {n_compared} tracked "
+              "metrics within tolerance")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -176,6 +264,14 @@ def main(argv=None) -> int:
                         help="tiny sizes for CI; skips speedup checks")
     parser.add_argument("--update-baseline", action="store_true",
                         help="print results formatted as the BASELINE dict")
+    parser.add_argument("--check-against", default=None, metavar="JSON",
+                        help="compare results against a committed record "
+                             "(e.g. BENCH_hotpath.json) and emit non-gating "
+                             "::warning:: lines on >20%% regression")
+    parser.add_argument("--repeat", type=int, default=1, metavar="N",
+                        help="samples per scenario: full runs keep the best, "
+                             "smoke runs the per-metric median (use 5 when "
+                             "re-recording the committed JSON)")
     parser.add_argument("--out", default=None,
                         help="output JSON path (default: BENCH_hotpath.json, "
                              "or BENCH_hotpath_smoke.json under --smoke so "
@@ -186,7 +282,7 @@ def main(argv=None) -> int:
         name = "BENCH_hotpath_smoke.json" if args.smoke else "BENCH_hotpath.json"
         args.out = str(REPO_ROOT / name)
 
-    current = run(args.smoke)
+    current = run_repeated(args.smoke, max(args.repeat, 1))
 
     if args.update_baseline:
         print(json.dumps(current, indent=2))
@@ -205,6 +301,12 @@ def main(argv=None) -> int:
         "current": current,
         "speedup": speedup,
     }
+    if not args.smoke:
+        # Record the smoke-scale numbers too: the CI bench-smoke job
+        # compares its like-for-like run against this section.
+        payload["smoke_reference"] = run_repeated(smoke=True,
+                                                  repeat=max(args.repeat, 1))
+
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
 
     width = max(len(k) for k in current)
@@ -215,6 +317,8 @@ def main(argv=None) -> int:
             line += f"  baseline={base:>12.1f}  speedup={current[key] / base:.2f}x"
         print(line)
     print(f"wrote {args.out}")
+    if args.check_against:
+        return check_against(current, args.check_against, args.smoke)
     return 0
 
 

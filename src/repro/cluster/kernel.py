@@ -91,7 +91,9 @@ class Future:
 class Process:
     """A running generator coroutine inside the kernel."""
 
-    __slots__ = ("gen", "name", "alive", "result", "_kernel", "exception")
+    __slots__ = (
+        "gen", "name", "alive", "result", "_kernel", "exception", "_resume_plain"
+    )
 
     def __init__(self, kernel: "SimKernel", gen: ProcessGen, name: str) -> None:
         self.gen = gen
@@ -100,6 +102,10 @@ class Process:
         self.result: Any = None
         self.exception: Optional[BaseException] = None
         self._kernel = kernel
+        #: Cached value-less resume callback.  Delay resumes — the most
+        #: frequent event by far (every compute chunk and link hop is one)
+        #: — reuse it instead of allocating a fresh closure per event.
+        self._resume_plain: Optional[Callable[[], None]] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Process({self.name!r}, alive={self.alive})"
@@ -199,7 +205,10 @@ class SimKernel:
 
     def _dispatch_yield(self, proc: Process, yielded: Any) -> None:
         if isinstance(yielded, Delay):
-            self._push(self.now + yielded.duration, lambda: self._step(proc, None))
+            cb = proc._resume_plain
+            if cb is None:
+                cb = proc._resume_plain = lambda: self._step(proc, None)
+            self._push(self.now + yielded.duration, cb)
         elif isinstance(yielded, Future):
             if yielded._park(proc):
                 # Already resolved: resume immediately with the stored value.

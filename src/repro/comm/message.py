@@ -32,6 +32,10 @@ class Tag(enum.IntEnum):
     LOGITS = 5
     #: Engine control (shutdown at end of generation).
     CONTROL = 6
+    #: Fused multi-run window forwarded between pipeline workers: one
+    #: transaction carrying several runs' metas/activations plus any
+    #: cache-op batches interleaved between them, in dispatch order.
+    FUSED = 7
 
 
 @dataclass

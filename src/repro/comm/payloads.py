@@ -96,6 +96,38 @@ class LogitsPayload:
     cancelled: bool = False
 
 
+@dataclass
+class FusedRun:
+    """One run's (meta, activations) pair inside a fused window.
+
+    Workers drain every transaction waiting in their mailbox into a
+    *fusion window* and evaluate the compatible decode runs as one
+    cross-run batch; on the wire the window travels as a single
+    :class:`FusedBatch` whose items preserve the original transaction
+    order, so MPI non-overtaking semantics and run-FIFO ordering are
+    exactly those of the equivalent singleton transactions.
+    """
+
+    meta: "DecodeMeta"
+    act: "Activations"
+
+
+@dataclass
+class FusedBatch:
+    """A fused multi-run transaction forwarded between pipeline workers.
+
+    ``items`` is the ordered window: :class:`FusedRun` entries for decode
+    runs and plain ``List[CacheOp]`` batches for the cache-op transactions
+    that arrived between them.  Order within ``items`` is the order the
+    singleton transactions were dispatched in, which every stage must
+    respect (cache ops copy cells written by the decode runs preceding
+    them — Section IV-C3).
+    """
+
+    items: List[Any]
+    nbytes: float = 0.0
+
+
 class CacheOpKind(enum.IntEnum):
     """KV-cache maintenance commands (llama.cpp sequence API)."""
 

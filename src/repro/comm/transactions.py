@@ -27,6 +27,13 @@ class TransactionType(enum.IntEnum):
     DECODE = Tag.DECODE
     CACHE_OP = Tag.CACHE_OP
     SHUTDOWN = Tag.CONTROL
+    #: A worker-to-worker fused window: one payload piece (a
+    #: :class:`~repro.comm.payloads.FusedBatch`) carrying several decode
+    #: runs and interleaved cache-op batches in dispatch order.  Heads
+    #: always emit singleton DECODE / CACHE_OP transactions; workers fuse
+    #: them and forward the window as one transaction so downstream stages
+    #: pay one dispatch per window instead of one per run.
+    FUSED = Tag.FUSED
 
 
 #: Modeled wire size of a transaction-start message (type id + header).

@@ -15,6 +15,18 @@ The four components map onto modules:
 - **Early Inference Cancellation** — invalidation/superfluity detection on
   the run FIFO (:mod:`repro.core.run_state`) and back-propagated cancel
   signals that let workers skip invalidated speculative work mid-run.
+
+**Fusion window** (multi-run batching, beyond the paper): each pipeline
+worker drains every transaction waiting in its mailbox and evaluates the
+pending decode runs — across in-flight runs and, in serving mode, across
+requests — as one fused cross-run batch with a single per-run-masked
+attention pass per layer, forwarding per-run records downstream in
+dispatch order as one FUSED transaction
+(:mod:`repro.engines.worker`, :meth:`Backend.compute_stage_multi`).
+Metadata (cell allocation, cache ops, visibility snapshots) stays in
+strict transaction order, so fused execution is differentially pinned to
+sequential per-run execution; cancellation signals landing mid-window
+still drop their run from the computation.
 """
 
 from repro.core.continuous import CutoffController

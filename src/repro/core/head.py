@@ -80,7 +80,6 @@ def send_record(engine, rec: RunRecord, states, want_all_logits: bool = True) ->
     feed the verify walk) and False for prefill, where only the last
     prompt slot's logits are sampled.
     """
-    be = engine.backend
     first_target = engine.target_ranks()[0]
     slots = [
         TokenSlot(
@@ -91,8 +90,8 @@ def send_record(engine, rec: RunRecord, states, want_all_logits: bool = True) ->
         )
         for i, tok in enumerate(rec.tokens)
     ]
+    # send_decode stamps meta.nbytes from the backend's cost descriptor.
     meta = DecodeMeta(rec.run_id, slots, rec.is_speculative, oracle_states=states)
-    meta.nbytes = be.meta_nbytes(meta.n_tokens)
     act = Activations(
         rec.run_id,
         nbytes=TOKEN_ACTIVATION_BYTES_PER_TOKEN * len(rec.tokens),
@@ -360,9 +359,14 @@ def pipeinfer_head(engine, job: GenerationJob) -> Generator:
 
     # ---- main loop -------------------------------------------------------------
     while not ctx.target_reached():
-        if ep.iprobe(last_target, Tag.LOGITS):
+        # Fused stage windows deliver several runs' logits back-to-back;
+        # drain them all before re-walking the priority ladder.
+        drained = False
+        while not ctx.target_reached() and ep.iprobe(last_target, Tag.LOGITS):
             msg = yield from ep.recv(last_target, Tag.LOGITS)
             yield from process_run_logits(engine, ctx, msg.payload)
+            drained = True
+        if drained:
             continue
 
         if not ctx.fifo.covers_tip(ctx.accepted):

@@ -109,6 +109,21 @@ class WorkerState:
     is_last_stage: bool
 
 
+@dataclass
+class StageRun:
+    """One run's compute inputs inside a fused stage window.
+
+    ``skip`` marks runs the worker will not evaluate (cancelled
+    speculative runs, or runs whose upstream record was already empty);
+    they keep their slot in the window so per-run outputs — and the
+    records forwarded downstream — stay in dispatch order.
+    """
+
+    meta: DecodeMeta
+    hidden: Optional[np.ndarray]
+    skip: bool = False
+
+
 def apply_cache_op(cache: Any, op: CacheOp) -> None:
     """Apply a pipelined cache command to a node's KV shard.
 
@@ -197,6 +212,33 @@ class Backend(ABC):
         embed from ``meta.slots`` when ``hidden_in`` is None.
         """
 
+    def compute_stage_multi(
+        self, ws: WorkerState, window: Sequence[Any]
+    ) -> List[Optional[np.ndarray]]:
+        """Evaluate a fused window of runs and interleaved cache-op batches.
+
+        ``window`` is an ordered sequence of :class:`StageRun` entries and
+        plain ``List[CacheOp]`` batches, exactly as the transactions
+        arrived at the worker.  The default walks the window in order —
+        sequential per-run semantics — which is the reference behaviour
+        fused implementations must reproduce (the functional backend
+        concatenates compatible runs into one cross-run batch instead).
+
+        Returns one output per :class:`StageRun`, in window order; skipped
+        runs yield None.
+        """
+        outs: List[Optional[np.ndarray]] = []
+        for item in window:
+            if isinstance(item, StageRun):
+                outs.append(
+                    None if item.skip
+                    else self.compute_stage(ws, item.meta, item.hidden)
+                )
+            else:
+                for op in item:
+                    apply_cache_op(ws.cache, op)
+        return outs
+
     @abstractmethod
     def finalize_logits(
         self, ws: WorkerState, meta: DecodeMeta, hidden: Optional[np.ndarray]
@@ -214,6 +256,21 @@ class Backend(ABC):
         Chunk boundaries are the worker's cancellation probe points
         ("thread synchronization points", Section IV-D2).
         """
+
+    def stage_chunks_multi(
+        self,
+        node: NodeSpec,
+        layer_range: Tuple[int, int],
+        token_counts: Sequence[int],
+    ) -> List[float]:
+        """Compute delays for a *fused* window of several runs' batches.
+
+        A fused batch streams each layer's weights once for all of its
+        runs, so it is charged a single stage time for the concatenated
+        token count — not the sum of the singleton stage times (which
+        would each re-pay the weight stream and dispatch overhead).
+        """
+        return self.stage_chunks(node, layer_range, sum(token_counts))
 
     @abstractmethod
     def logits_time(self, node: NodeSpec, n_logits: int) -> float:
@@ -404,6 +461,102 @@ class FunctionalBackend(Backend):
             hidden, meta.slots, cache, ws.layer_range, cells=cells
         )
 
+    def compute_stage_multi(self, ws, window):
+        """Fused cross-run execution with sequential-order metadata.
+
+        Two passes keep fused results identical to per-run evaluation:
+
+        1. **Metadata pass, strict transaction order.**  Each run's cells
+           are allocated — and each cache-op batch applied — exactly where
+           its transaction sat in the window, so allocation order and
+           sequence metadata match the sequential execution cell for
+           cell.  Each run's visibility rows are *snapshotted* at its own
+           point in the order: later allocations and copies can never leak
+           into an earlier run's mask.
+        2. **Tensor pass, one fused batch per group.**  Compatible runs
+           are concatenated (hiddens, positions, cells, stacked mask rows)
+           and evaluated with a single ``forward_stage`` call — one
+           block-diagonal/per-run-masked ``batched_grouped_attention``
+           pass per layer — then split back into per-run activations.
+
+        Grouping is conservative: when a run's freshly allocated cells
+        intersect cells *visible to* (or owned by) runs already in the
+        current group — possible only when an interleaved ``seq_rm`` freed
+        a cell and this run reuses its index — the window splits, because
+        the earlier runs must read the cell's old K/V before this run's
+        layer-loop writes overwrite it.  Earlier groups always compute
+        before later groups, which preserves exactly that order.
+        """
+        cache: KVCache = ws.cache
+        runs = [it for it in window if isinstance(it, StageRun)]
+        outs: List[Optional[np.ndarray]] = [None] * len(runs)
+        #: (run_index, hidden, slots, positions, cells, visible) per live run.
+        planned: List[Tuple[int, np.ndarray, list, np.ndarray, np.ndarray, np.ndarray]] = []
+        groups: List[List[int]] = [[]]
+        vis_union = np.zeros(cache.n_cells, dtype=bool)
+        ri = -1
+        for item in window:
+            if not isinstance(item, StageRun):
+                for op in item:
+                    apply_cache_op(cache, op)
+                continue
+            ri += 1
+            if item.skip:
+                continue
+            meta = item.meta
+            hidden = (
+                self.target.embed(meta.slots) if item.hidden is None else item.hidden
+            )
+            cells = np.asarray(
+                cache.allocate([(s.pos, set(s.seq_ids)) for s in meta.slots]),
+                dtype=np.intp,
+            )
+            if vis_union[cells].any() and groups[-1]:
+                groups.append([])
+                vis_union[:] = False
+            positions = np.array([s.pos for s in meta.slots], dtype=np.int64)
+            visible = cache.visible_matrix(
+                [s.primary_seq for s in meta.slots], positions,
+                limit=cache.high_water,
+            )
+            vis_union[: visible.shape[1]] |= visible.any(axis=0)
+            vis_union[cells] = True
+            groups[-1].append(len(planned))
+            planned.append((ri, hidden, list(meta.slots), positions, cells, visible))
+        for group in groups:
+            if not group:
+                continue
+            parts = [planned[i] for i in group]
+            if len(parts) == 1:
+                idx, hidden, slots, _, cells, visible = parts[0]
+            else:
+                idx = -1
+                hidden = np.concatenate([p[1] for p in parts], axis=0)
+                slots = [s for p in parts for s in p[2]]
+                cells = np.concatenate([p[4] for p in parts])
+                # Stack the per-run mask rows; snapshots taken before later
+                # allocations may be narrower (high-water truncation) and
+                # pad with False — those cells did not exist for them.
+                width = max(p[5].shape[1] for p in parts)
+                visible = np.zeros((len(slots), width), dtype=bool)
+                off = 0
+                for p in parts:
+                    rows = p[5]
+                    visible[off : off + rows.shape[0], : rows.shape[1]] = rows
+                    off += rows.shape[0]
+            fused = self.target.forward_stage(
+                hidden, slots, cache, ws.layer_range, cells=cells, visible=visible
+            )
+            if len(parts) == 1:
+                outs[idx] = fused
+            else:
+                off = 0
+                for p in parts:
+                    n = len(p[2])
+                    outs[p[0]] = fused[off : off + n]
+                    off += n
+        return outs
+
     def finalize_logits(self, ws, meta, hidden):
         want = [i for i, s in enumerate(meta.slots) if s.want_logits]
         out = self.target.output(hidden, want)
@@ -460,8 +613,14 @@ class OracleBackend(Backend):
         probe_chunk_layers: int = 4,
         acceptance_override: Optional[float] = None,
         base_cutoff: float = 0.30,
+        n_cells: Optional[int] = None,
     ) -> None:
         self.pair = pair
+        #: Optional per-shard KV cell budget for serving admission.  The
+        #: interval caches never overflow physically, but a bounded budget
+        #: lets oracle-mode serving model real cache pressure; None keeps
+        #: the historical unbounded behaviour.
+        self.n_cells = n_cells
         self.target_cost = CostModel(pair.target_arch, context=context)
         self.draft_cost = CostModel(pair.draft_arch, context=context)
         self.vocab = pair.target_arch.vocab
@@ -531,12 +690,37 @@ class OracleBackend(Backend):
     def make_worker_state(self, rank, layer_range, first, last) -> WorkerState:
         return WorkerState(rank, layer_range, RangeKVCache(), first, last)
 
+    def worker_cell_capacity(self) -> Optional[int]:
+        return self.n_cells
+
     def compute_stage(self, ws, meta, hidden_in):
         cache: RangeKVCache = ws.cache
         for slot in meta.slots:
             for seq in slot.seq_ids:
                 cache.add_tokens(seq, (slot.pos,))
         return None
+
+    def compute_stage_multi(self, ws, window):
+        """Metadata-only fused window: record every live run's cells.
+
+        Interval metadata has no cross-run interaction, so the fused form
+        is simply the in-order walk without per-run dispatch; the fused
+        *timing* benefit comes from :meth:`stage_chunks_multi` charging
+        the window one stage time.
+        """
+        cache: RangeKVCache = ws.cache
+        outs: List[Optional[np.ndarray]] = []
+        for item in window:
+            if isinstance(item, StageRun):
+                if not item.skip:
+                    for slot in item.meta.slots:
+                        for seq in slot.seq_ids:
+                            cache.add_tokens(seq, (slot.pos,))
+                outs.append(None)
+            else:
+                for op in item:
+                    apply_cache_op(cache, op)
+        return outs
 
     def finalize_logits(self, ws, meta, hidden):
         if meta.oracle_states is None:
@@ -551,18 +735,9 @@ class OracleBackend(Backend):
 
     def stage_chunks(self, node, layer_range, n_tokens):
         lo, hi = layer_range
-        n_layers = hi - lo
-        if n_layers <= 0:
-            return [node.compute_overhead]
-        per_layer = self.target_cost.layer_time(node, n_tokens)
-        chunks = []
-        remaining = n_layers
-        while remaining > 0:
-            step = min(self.probe_chunk_layers, remaining)
-            chunks.append(step * per_layer)
-            remaining -= step
-        chunks[0] += node.compute_overhead
-        return chunks
+        return self.target_cost.chunked_stage_times(
+            node, hi - lo, n_tokens, self.probe_chunk_layers
+        )
 
     def prefill_chunks(self, node, layer_range, n_tokens):
         lo, hi = layer_range

@@ -66,6 +66,16 @@ class EngineConfig:
     idle_poll: float = 2e-4
     #: KV cells per worker shard (functional mode sizing).
     n_cells: int = 2048
+    #: Cap on decode runs a pipeline stage fuses into one cross-run batch
+    #: (1 disables multi-run batching; ablation / differential testing).
+    max_fused_runs: int = 8
+    #: Serving admission policy: when True, admit against the workers'
+    #: *live* cells-in-use (``KVCache.n_used``, O(1)) instead of the sum
+    #: of every active request's static worst-case demand.  Optimistic:
+    #: admits far earlier once requests have released or not yet grown
+    #: into their worst case, at the cost of the hard no-overflow
+    #: guarantee (see :meth:`repro.core.multibuffer.CellBudget.fits_live`).
+    admission_live_cells: bool = False
 
     def __post_init__(self) -> None:
         if self.microbatch_size < 1:
@@ -92,6 +102,10 @@ class EngineConfig:
             raise ValueError(f"idle_poll must be positive, got {self.idle_poll}")
         if self.n_cells < 1:
             raise ValueError(f"n_cells must be positive, got {self.n_cells}")
+        if self.max_fused_runs < 1:
+            raise ValueError(
+                f"max_fused_runs must be positive, got {self.max_fused_runs}"
+            )
 
     def ablated(self, **changes) -> "EngineConfig":
         """A copy with the given fields replaced (ablation studies)."""
@@ -190,6 +204,7 @@ class BaseEngine(ABC):
                         ws=ws,
                         node=self.cluster.nodes[rank],
                         metrics=self.metrics,
+                        max_fuse=self.config.max_fused_runs,
                     ),
                     name=f"worker-{rank}",
                 )
@@ -258,6 +273,23 @@ class BaseEngine(ABC):
     def new_run_id(self) -> int:
         self._next_run_id += 1
         return self._next_run_id
+
+    def worker_cells_used(self) -> int:
+        """Largest live cells-in-use count across the worker KV shards.
+
+        The serving head uses this as the real occupancy signal for
+        live-cell admission (``EngineConfig.admission_live_cells``).
+        Per shard, ``n_used`` is O(1) for the functional :class:`KVCache`
+        and an O(active sequences) interval sum for the performance-mode
+        :class:`RangeKVCache`; shards whose cache does not expose a usage
+        count contribute nothing.
+        """
+        used = 0
+        for ws in getattr(self, "_worker_states", {}).values():
+            n = getattr(ws.cache, "n_used", None)
+            if n is not None:
+                used = max(used, int(n))
+        return used
 
     def ep(self) -> Endpoint:
         return self.net.endpoint(self.head_rank())

@@ -17,28 +17,53 @@ A worker rank loops on its mailbox:
 Non-speculative runs are never skipped, even when cancelled: KV
 multibuffering's early cache-entry sharing relies on canonical runs
 completing (IV-D3); only their final sampling is skipped at the head.
+
+**Fusion window** (multi-run batching): instead of evaluating each run's
+1–4-token micro-batch as its own stage pass, a worker drains *every*
+transaction already waiting in its mailbox — decode runs of several
+concurrent speculative/canonical runs (and, in serving mode, of several
+requests), with any cache-op batches interleaved between them — and
+evaluates the live runs as **one fused cross-run batch**: a single stage
+delay charged for the concatenated token count, one masked attention pass
+per layer, then per-run activation records forwarded downstream as a
+single FUSED transaction that preserves the original dispatch order.
+Cancellation stays live inside a window: a cancel that lands between
+compute chunks removes the run from the fused computation, and its empty
+record still goes out in its original slot.
 """
 
 from __future__ import annotations
 
-from typing import Generator, Optional, Set
+from typing import Generator, List, Optional, Set
 
 from repro.cluster.hardware import NodeSpec
 from repro.cluster.kernel import Delay
 from repro.comm.message import ANY_SOURCE, Tag
 from repro.comm.mpi_sim import Network
-from repro.comm.payloads import Activations, CacheOp, LogitsPayload
-from repro.comm.transactions import TransactionType, recv_piece
+from repro.comm.payloads import (
+    Activations,
+    FusedBatch,
+    FusedRun,
+    LogitsPayload,
+    ShutdownMsg,
+)
+from repro.comm.transactions import TransactionType, recv_piece, send_transaction
 from repro.engines.backend import (
     Backend,
     EMPTY_ACTIVATION_NBYTES,
+    StageRun,
     WorkerState,
-    apply_cache_op,
 )
 from repro.metrics.collectors import MetricsCollector
 
 #: Wire size of a cancelled logits record.
 CANCELLED_LOGITS_NBYTES = 24.0
+
+#: Simulated time to apply one pipelined cache-op command.
+CACHE_OP_APPLY_TIME = 2e-6
+
+#: Default cap on decode runs fused into one stage window.
+DEFAULT_MAX_FUSED_RUNS = 8
 
 
 def pipeline_worker(
@@ -51,6 +76,7 @@ def pipeline_worker(
     ws: WorkerState,
     node: NodeSpec,
     metrics: MetricsCollector,
+    max_fuse: int = DEFAULT_MAX_FUSED_RUNS,
 ) -> Generator:
     """Worker process for one pipeline rank.
 
@@ -62,6 +88,9 @@ def pipeline_worker(
             logits to ``head_rank`` instead).
         backend: model behaviour (compute, sizes, timing).
         ws: this rank's worker state (layer range + KV shard).
+        max_fuse: cap on decode runs drained into one fusion window
+            (1 disables cross-run fusion; windows still absorb cache-op
+            transactions between a run and its predecessor).
     """
     ep = net.endpoint(rank)
     cancelled: Set[int] = set()
@@ -80,113 +109,187 @@ def pipeline_worker(
                 CancelForward(run_id), upstream, Tag.CANCEL, nbytes=16.0, eager=True
             )
 
+    def drain_cancels() -> Generator:
+        while ep.iprobe(ANY_SOURCE, Tag.CANCEL):
+            cmsg = yield from ep.recv(ANY_SOURCE, Tag.CANCEL)
+            record_cancel(cmsg.payload.run_id)
+
     while True:
         # Receiver discipline: the main loop only accepts transaction
         # starts and out-of-band cancels; typed payload pieces are pulled
-        # by the transaction handlers on their own tags.
+        # by the window collector on their own tags.
         msg = yield from ep.recv(ANY_SOURCE, (Tag.START, Tag.CANCEL))
         if msg.tag == Tag.CANCEL:
             record_cancel(msg.payload.run_id)
             continue
         if msg.tag != Tag.START:
             raise RuntimeError(f"worker {rank}: unexpected message {msg!r}")
+        src = msg.src
         ttype = TransactionType(msg.payload)
 
-        if ttype == TransactionType.SHUTDOWN:
-            yield from recv_piece(ep, msg.src, ttype)
-            if downstream is not None:
-                from repro.comm.transactions import send_transaction
-                from repro.comm.payloads import ShutdownMsg
+        # ---- fusion window: drain this transaction plus everything already
+        # waiting from the same sender, in arrival order --------------------
+        window: List = []  # FusedRun | List[CacheOp], dispatch order
+        n_runs = 0
+        shutdown = False
+        while True:
+            if ttype == TransactionType.SHUTDOWN:
+                yield from recv_piece(ep, src, ttype)
+                shutdown = True
+                break
+            if ttype == TransactionType.DECODE:
+                meta = yield from recv_piece(ep, src, ttype)
+                act: Activations = yield from recv_piece(ep, src, ttype)
+                window.append(FusedRun(meta, act))
+                n_runs += 1
+            elif ttype == TransactionType.CACHE_OP:
+                batch = yield from recv_piece(ep, src, ttype)
+                window.append(batch)
+            elif ttype == TransactionType.FUSED:
+                fb: FusedBatch = yield from recv_piece(ep, src, ttype)
+                for item in fb.items:
+                    window.append(item)
+                    if isinstance(item, FusedRun):
+                        n_runs += 1
+            else:  # pragma: no cover - exhaustive enum
+                raise RuntimeError(f"worker {rank}: unknown transaction {ttype}")
+            if n_runs >= max_fuse or not ep.iprobe(src, Tag.START):
+                break
+            msg = yield from ep.recv(src, Tag.START)
+            ttype = TransactionType(msg.payload)
 
+        if window:
+            yield from _process_window(
+                ep, window, backend, ws, node, metrics,
+                rank, downstream, head_rank, cancelled, busy, drain_cancels,
+            )
+
+        if shutdown:
+            if downstream is not None:
                 send_transaction(
                     ep, downstream, TransactionType.SHUTDOWN,
                     [(ShutdownMsg(), 8.0)], eager=True,
                 )
             return
 
-        if ttype == TransactionType.CACHE_OP:
-            batch = yield from recv_piece(ep, msg.src, ttype)
-            for op in batch:
-                apply_cache_op(ws.cache, op)
-            yield Delay(2e-6 * len(batch))
-            if downstream is not None:
-                from repro.comm.transactions import send_transaction
 
-                send_transaction(
-                    ep, downstream, TransactionType.CACHE_OP,
-                    [(batch, 32.0 * len(batch))], eager=True,
-                )
-            continue
+def _process_window(
+    ep, window, backend, ws, node, metrics,
+    rank, downstream, head_rank, cancelled, busy, drain_cancels,
+) -> Generator:
+    """Evaluate one fusion window and forward its records in order."""
+    lo, hi = ws.layer_range
 
-        if ttype != TransactionType.DECODE:
-            raise RuntimeError(f"worker {rank}: unknown transaction {ttype}")
+    # Drain any cancellation signals that raced ahead of these decodes.
+    yield from drain_cancels()
 
-        meta = yield from recv_piece(ep, msg.src, ttype)
-        act: Activations = yield from recv_piece(ep, msg.src, ttype)
-
-        # Drain any cancellation signals that raced ahead of this decode.
-        while ep.iprobe(ANY_SOURCE, Tag.CANCEL):
-            cmsg = yield from ep.recv(ANY_SOURCE, Tag.CANCEL)
-            record_cancel(cmsg.payload.run_id)
-
-        lo, hi = ws.layer_range
-        skip = act.cancelled or (meta.is_speculative and meta.run_id in cancelled)
-        hidden = None
-        if skip:
-            metrics.stats.worker_layer_evals_skipped += hi - lo
+    # Build the compute window, marking runs the stage will not evaluate.
+    items: List = []          # StageRun | List[CacheOp], dispatch order
+    stage_runs: List[StageRun] = []
+    n_ops = 0
+    for it in window:
+        if isinstance(it, FusedRun):
+            skip = it.act.cancelled or (
+                it.meta.is_speculative and it.meta.run_id in cancelled
+            )
+            if skip:
+                metrics.stats.worker_layer_evals_skipped += hi - lo
+            sr = StageRun(it.meta, it.act.hidden, skip=skip)
+            items.append(sr)
+            stage_runs.append(sr)
         else:
-            chunks = backend.stage_chunks(node, ws.layer_range, meta.n_tokens)
-            aborted = False
-            done_frac = 0
-            for i, chunk in enumerate(chunks):
-                yield Delay(chunk)
-                busy(chunk)
-                # Thread-synchronization-point probe: react to cancels that
-                # arrive while this run is being evaluated.
-                while ep.iprobe(ANY_SOURCE, Tag.CANCEL):
-                    cmsg = yield from ep.recv(ANY_SOURCE, Tag.CANCEL)
-                    record_cancel(cmsg.payload.run_id)
-                if meta.is_speculative and meta.run_id in cancelled:
-                    aborted = True
-                    remaining = len(chunks) - (i + 1)
+            items.append(it)
+            n_ops += len(it)
+
+    if n_ops:
+        yield Delay(CACHE_OP_APPLY_TIME * n_ops)
+
+    live = [sr for sr in stage_runs if not sr.skip]
+    if live:
+        width = len(live)
+        metrics.record_fusion(rank, width)
+        if width > 1:
+            metrics.stats.fused_batches += 1
+            metrics.stats.fused_runs += width
+        # One fused stage time for the concatenated batch — weights are
+        # streamed once across the window, not once per run.
+        chunks = backend.stage_chunks_multi(
+            node, ws.layer_range, [sr.meta.n_tokens for sr in live]
+        )
+        for i, chunk in enumerate(chunks):
+            yield Delay(chunk)
+            busy(chunk)
+            # Thread-synchronization-point probe: react to cancels that
+            # arrive while the window is being evaluated.  A cancel that
+            # lands mid-fusion splits the batch logically: the cancelled
+            # run drops out of the computation but keeps its slot in the
+            # forwarded record order.
+            yield from drain_cancels()
+            remaining = len(chunks) - (i + 1)
+            for sr in stage_runs:
+                if (
+                    not sr.skip
+                    and sr.meta.is_speculative
+                    and sr.meta.run_id in cancelled
+                ):
+                    sr.skip = True
                     metrics.stats.worker_layer_evals_skipped += max(
                         0, (hi - lo) * remaining // max(len(chunks), 1)
                     )
-                    break
-            if aborted:
-                skip = True
-            else:
-                hidden = backend.compute_stage(ws, meta, act.hidden)
+            if not any(not sr.skip for sr in stage_runs):
+                break  # whole window cancelled: abandon remaining chunks
 
-        if ws.is_last_stage:
-            if skip:
+    outs = backend.compute_stage_multi(ws, items)
+
+    if ws.is_last_stage:
+        n_want = sum(
+            sum(1 for s in sr.meta.slots if s.want_logits)
+            for sr in stage_runs if not sr.skip
+        )
+        if any(not sr.skip for sr in stage_runs):
+            t = backend.logits_time(node, n_want)
+            yield Delay(t)
+            busy(t)
+        for sr, hidden in zip(stage_runs, outs):
+            if sr.skip:
                 payload = LogitsPayload(
-                    meta.run_id, [], nbytes=CANCELLED_LOGITS_NBYTES, cancelled=True
+                    sr.meta.run_id, [], nbytes=CANCELLED_LOGITS_NBYTES,
+                    cancelled=True,
                 )
             else:
-                n_want = sum(1 for s in meta.slots if s.want_logits)
-                t = backend.logits_time(node, n_want)
-                yield Delay(t)
-                busy(t)
-                logits = backend.finalize_logits(ws, meta, hidden)
+                logits = backend.finalize_logits(ws, sr.meta, hidden)
                 payload = LogitsPayload(
-                    meta.run_id, logits, nbytes=backend.logits_nbytes(n_want)
+                    sr.meta.run_id, logits,
+                    nbytes=backend.logits_nbytes(len(logits)),
                 )
             ep.send(payload, head_rank, Tag.LOGITS, nbytes=payload.nbytes)
-        else:
-            from repro.comm.transactions import send_transaction
-
-            out = (
-                Activations(meta.run_id, EMPTY_ACTIVATION_NBYTES, None, cancelled=True)
-                if skip
-                else Activations(
-                    meta.run_id, backend.activation_nbytes(meta.n_tokens), hidden
-                )
-            )
-            send_transaction(
-                ep, downstream, TransactionType.DECODE,
-                [(meta, meta.nbytes), (out, out.nbytes)],
-            )
+    elif downstream is not None:
+        out_items: List = []
+        nbytes = 0.0
+        oi = 0
+        for it in items:
+            if isinstance(it, StageRun):
+                if it.skip:
+                    out = Activations(
+                        it.meta.run_id, EMPTY_ACTIVATION_NBYTES, None,
+                        cancelled=True,
+                    )
+                else:
+                    out = Activations(
+                        it.meta.run_id,
+                        backend.activation_nbytes(it.meta.n_tokens),
+                        outs[oi],
+                    )
+                out_items.append(FusedRun(it.meta, out))
+                nbytes += it.meta.nbytes + out.nbytes
+                oi += 1
+            else:
+                out_items.append(it)
+                nbytes += 32.0 * len(it)
+        fb = FusedBatch(out_items, nbytes=nbytes)
+        send_transaction(
+            ep, downstream, TransactionType.FUSED, [(fb, fb.nbytes)]
+        )
 
 
 class CancelForward:

@@ -21,6 +21,13 @@ class RunStats:
     draft_tokens_checked: int = 0
     cancel_signals_sent: int = 0
     worker_layer_evals_skipped: int = 0
+    #: Fused stage windows that batched >1 run.  A fused window is
+    #: recorded *once* with its run count (``fused_runs`` accumulates the
+    #: widths) — never once per member run — and its busy time is charged
+    #: once for the whole batch, so per-stage utilization reports stay
+    #: comparable to pre-fusion runs.
+    fused_batches: int = 0
+    fused_runs: int = 0
 
     @property
     def acceptance_rate(self) -> float:
@@ -76,6 +83,9 @@ class MetricsCollector:
         self.busy_time: Dict[int, float] = {}
         #: rank -> modeled resident memory in bytes.
         self.node_memory: Dict[int, float] = {}
+        #: rank -> {fusion width -> window count}: how many runs each
+        #: stage's fusion windows batched together (width 1 = no fusion).
+        self.fusion_width: Dict[int, Dict[int, int]] = {}
 
     # -- timeline -----------------------------------------------------------
 
@@ -91,6 +101,19 @@ class MetricsCollector:
 
     def add_busy(self, rank: int, seconds: float) -> None:
         self.busy_time[rank] = self.busy_time.get(rank, 0.0) + seconds
+
+    def record_fusion(self, rank: int, width: int) -> None:
+        """Record one stage window that evaluated ``width`` live runs."""
+        hist = self.fusion_width.setdefault(rank, {})
+        hist[width] = hist.get(width, 0) + 1
+
+    def fusion_width_hist(self) -> Dict[int, int]:
+        """Width -> window count aggregated over every stage."""
+        total: Dict[int, int] = {}
+        for hist in self.fusion_width.values():
+            for width, count in hist.items():
+                total[width] = total.get(width, 0) + count
+        return total
 
     def set_node_memory(self, rank: int, nbytes: float) -> None:
         self.node_memory[rank] = nbytes

@@ -25,6 +25,8 @@ class EngineReport:
     mean_node_memory: float
     max_node_memory: float
     stats: RunStats
+    #: Fusion-width histogram (width -> stage-window count, all ranks).
+    fusion_width: Dict[int, int] = field(default_factory=dict)
 
     @classmethod
     def from_collector(
@@ -46,6 +48,7 @@ class EngineReport:
             mean_node_memory=metrics.mean_node_memory(),
             max_node_memory=metrics.max_node_memory(),
             stats=metrics.stats,
+            fusion_width=metrics.fusion_width_hist(),
         )
 
     def speed_per_gb(self) -> float:
@@ -121,6 +124,8 @@ class ServingReport:
     queue_wait_p99: float
     utilization: float
     stats: RunStats
+    #: Fusion-width histogram (width -> stage-window count, all ranks).
+    fusion_width: Dict[int, int] = field(default_factory=dict)
 
     @classmethod
     def from_requests(

@@ -96,6 +96,33 @@ class CostModel:
             return node.compute_overhead
         return n_layers * self.layer_time(node, n_tokens) + node.compute_overhead
 
+    def chunked_stage_times(
+        self, node: NodeSpec, n_layers: int, n_tokens: int, chunk_layers: int
+    ) -> list:
+        """Stage time split at cancellation-probe chunk boundaries.
+
+        ``n_tokens`` is the *whole batch* evaluated in one pass.  For a
+        fused multi-run window that is the concatenated token count of
+        every run in the window: the layer weights are streamed once for
+        the fused batch and the dispatch overhead is paid once, so a
+        fused window is charged a single fused stage time — not the sum
+        of its runs' singleton stage times.  (Small batches sit on the
+        bandwidth-bound side of the roofline, which is exactly why fusing
+        several 1–4-token runs is nearly free in time and saves the
+        per-run weight streams.)
+        """
+        if n_layers <= 0:
+            return [node.compute_overhead]
+        per_layer = self.layer_time(node, n_tokens)
+        chunks = []
+        remaining = n_layers
+        while remaining > 0:
+            step = min(chunk_layers, remaining)
+            chunks.append(step * per_layer)
+            remaining -= step
+        chunks[0] += node.compute_overhead
+        return chunks
+
     def output_head_time(self, node: NodeSpec, n_logits: int) -> float:
         """Final norm + LM head: streams the (unquantized-ish) head weights."""
         a = self.arch

@@ -39,7 +39,7 @@ forward but tokens do not attend to themselves ahead of their position).
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, List, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -97,6 +97,10 @@ class KVCache:
         self._member = np.zeros((n_cells, _INITIAL_SEQ_COLS), dtype=bool)
         #: Min-heap of free cells; ``range`` is already heap-ordered.
         self._free: List[int] = list(range(n_cells))
+        #: One past the highest cell index ever allocated.  Allocation is
+        #: lowest-index-first, so cells at or beyond the high-water mark
+        #: have never held an entry — visibility queries can ignore them.
+        self._high_water = 0
         if n_layers > 0:
             if kv_dim <= 0:
                 raise ValueError("tensor-backed cache needs kv_dim > 0")
@@ -143,6 +147,11 @@ class KVCache:
         return self.n_cells - len(self._free)
 
     @property
+    def high_water(self) -> int:
+        """One past the highest cell index ever allocated."""
+        return self._high_water
+
+    @property
     def n_free(self) -> int:
         return len(self._free)
 
@@ -174,6 +183,8 @@ class KVCache:
                 raise KVCacheError(f"invalid sequence id {min(seq_ids)}")
             self._ensure_seq(max(seq_ids))
             cell = heapq.heappop(self._free)
+            if cell >= self._high_water:
+                self._high_water = cell + 1
             self.pos[cell] = p
             self._member[cell, list(seq_ids)] = True
             cells.append(cell)
@@ -220,10 +231,16 @@ class KVCache:
             return 0
         self._ensure_seq(seq_dst)
         # First cell per distinct source position, then drop positions the
-        # destination already holds.
+        # destination already holds.  Copies into a *fresh* partition (the
+        # common case: materializing a new run's context) skip the
+        # destination-position scan entirely.
         uniq_pos, first = np.unique(self.pos[cand], return_index=True)
-        dst_pos = self.pos[self._member[:, seq_dst] & (self.pos >= 0)]
-        chosen = cand[first[~np.isin(uniq_pos, dst_pos)]]
+        dst_cells = self._member[:, seq_dst] & (self.pos >= 0)
+        if dst_cells.any():
+            dst_pos = self.pos[dst_cells]
+            chosen = cand[first[~np.isin(uniq_pos, dst_pos)]]
+        else:
+            chosen = cand[first]
         self._member[chosen, seq_dst] = True
         return int(chosen.size)
 
@@ -315,6 +332,7 @@ class KVCache:
         seq_ids: Sequence[int],
         positions: Sequence[int],
         inclusive: bool = True,
+        limit: Optional[int] = None,
     ) -> np.ndarray:
         """Batched visibility: boolean ``(n_tokens, n_cells)`` mask.
 
@@ -322,17 +340,24 @@ class KVCache:
         Visibility depends only on cache metadata, never on the layer, so
         the functional transformer computes this once per decode batch and
         reuses it across its whole layer range.
+
+        ``limit`` truncates the cell axis (rows become ``limit`` wide):
+        hot callers pass :attr:`high_water` so a mostly-empty cache is not
+        scanned to its full capacity — cells past the high-water mark have
+        never been allocated and are invisible by construction.
         """
         seq_ids = np.asarray(seq_ids, dtype=np.int64)
         positions = np.asarray(positions, dtype=np.int64)
+        end = self.n_cells if limit is None else min(limit, self.n_cells)
         cols = self._member.shape[1]
         valid = (seq_ids >= 0) & (seq_ids < cols)
-        member = self._member[:, np.clip(seq_ids, 0, cols - 1)].T & valid[:, None]
-        live = self.pos >= 0
+        member = self._member[:end, np.clip(seq_ids, 0, cols - 1)].T & valid[:, None]
+        pos = self.pos[:end]
+        live = pos >= 0
         if inclusive:
-            reach = self.pos[None, :] <= positions[:, None]
+            reach = pos[None, :] <= positions[:, None]
         else:
-            reach = self.pos[None, :] < positions[:, None]
+            reach = pos[None, :] < positions[:, None]
         return member & live[None, :] & reach
 
     def has_entry(self, seq: int, pos: int) -> bool:

@@ -11,9 +11,15 @@ import numpy as np
 
 
 def rms_norm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-5) -> np.ndarray:
-    """Root-mean-square layer norm (Llama-style, no mean subtraction)."""
-    scale = 1.0 / np.sqrt(np.mean(np.square(x), axis=-1, keepdims=True) + eps)
-    return x * scale * weight
+    """Root-mean-square layer norm (Llama-style, no mean subtraction).
+
+    The mean square is a single einsum contraction (one pass, no squared
+    temporary) — this runs twice per layer per decode batch, so the
+    constant factors matter.
+    """
+    ms = np.einsum("...d,...d->...", x, x) / x.shape[-1]
+    scale = 1.0 / np.sqrt(ms + eps)
+    return x * scale[..., None] * weight
 
 
 def silu(x: np.ndarray) -> np.ndarray:
@@ -35,6 +41,36 @@ def rope_frequencies(head_dim: int, base: float = 10000.0) -> np.ndarray:
     return base ** (-np.arange(0, head_dim, 2, dtype=np.float64) / head_dim)
 
 
+def rope_tables(positions: np.ndarray, freqs: np.ndarray) -> np.ndarray:
+    """Per-token rotation table (complex rotors) for a batch of positions.
+
+    The table depends only on ``positions`` — never on the layer or the
+    tensor being rotated — so one table serves every q/k rotation of every
+    layer in a forward pass, and callers may further cache it per
+    positions-tuple across calls (prefill batches repeat the same
+    0..L-1 positions for every request of a given prompt length).
+
+    Returns ``cos + i*sin`` shaped (n, 1, head_dim/2), ready to broadcast
+    over the heads axis: rotating a channel pair (x1, x2) by angle θ is
+    exactly the complex product (x1 + i*x2)(cosθ + i*sinθ).
+    """
+    angles = positions[:, None].astype(np.float64) * freqs[None, :]  # (n, hd/2)
+    return (np.cos(angles) + 1j * np.sin(angles))[:, None, :]
+
+
+def apply_rope_tables(x: np.ndarray, rot: np.ndarray) -> np.ndarray:
+    """Rotate ``x`` of shape (n, heads, head_dim) with a precomputed table.
+
+    Consecutive channel pairs are viewed as complex numbers and rotated
+    with one vectorized complex multiply — the same ``x1*cos - x2*sin`` /
+    ``x1*sin + x2*cos`` arithmetic as the explicit form, without the
+    strided slice assignments.
+    """
+    if not x.flags.c_contiguous:  # complex view needs contiguous pairs
+        x = np.ascontiguousarray(x)
+    return (x.view(np.complex128) * rot).view(np.float64)
+
+
 def apply_rope(x: np.ndarray, positions: np.ndarray, freqs: np.ndarray) -> np.ndarray:
     """Rotate ``x`` of shape (n, heads, head_dim) by per-token positions.
 
@@ -43,16 +79,7 @@ def apply_rope(x: np.ndarray, positions: np.ndarray, freqs: np.ndarray) -> np.nd
     Tokens in a speculative batch carry non-contiguous positions, so the
     rotation is applied per token from ``positions``.
     """
-    n, n_heads, head_dim = x.shape
-    angles = positions[:, None].astype(np.float64) * freqs[None, :]  # (n, hd/2)
-    cos = np.cos(angles)[:, None, :]  # (n, 1, hd/2)
-    sin = np.sin(angles)[:, None, :]
-    x1 = x[..., 0::2]
-    x2 = x[..., 1::2]
-    out = np.empty_like(x)
-    out[..., 0::2] = x1 * cos - x2 * sin
-    out[..., 1::2] = x1 * sin + x2 * cos
-    return out
+    return apply_rope_tables(x, rope_tables(positions, freqs))
 
 
 def swiglu(x: np.ndarray, w_gate: np.ndarray, w_up: np.ndarray, w_down: np.ndarray) -> np.ndarray:
@@ -66,6 +93,7 @@ def batched_grouped_attention(
     v_cells: np.ndarray,
     mask: np.ndarray,
     n_kv_heads: int,
+    invisible: "np.ndarray | None" = None,
 ) -> np.ndarray:
     """Masked attention for a whole decode batch over shared cache cells.
 
@@ -82,6 +110,9 @@ def batched_grouped_attention(
         mask: (n_tokens, n_cells) boolean visibility; every row must have
             at least one visible cell (a token always sees its own entry).
         n_kv_heads: KV head count; query heads are grouped onto them.
+        invisible: optional precomputed ``~mask[:, None, None, :]``.  The
+            mask is fixed for a whole decode batch, so callers evaluating
+            several layers hoist the inversion out of the layer loop.
 
     Returns:
         (n_tokens, n_heads, head_dim) attention output per token.
@@ -91,12 +122,24 @@ def batched_grouped_attention(
     n_cells = k_cells.shape[0]
     k = k_cells.reshape(n_cells, n_kv_heads, head_dim)
     v = v_cells.reshape(n_cells, n_kv_heads, head_dim)
-    # Group query heads onto their KV head: (tokens, kv_heads, group, hd).
+    # Group query heads onto their KV head: (tokens, kv_heads, group, hd),
+    # then batched matmuls over the cell axis (equivalent to the einsum
+    # contractions "tkgd,ckd->tkgc" / "tkgc,ckd->tkgd", but dispatched to
+    # BLAS, which is several times faster at these shapes).
     qg = q.reshape(n_tokens, n_kv_heads, group, head_dim)
-    scores = np.einsum("tkgd,ckd->tkgc", qg, k) / np.sqrt(head_dim)
-    scores = np.where(mask[:, None, None, :], scores, -np.inf)
-    weights = softmax(scores, axis=-1)
-    out = np.einsum("tkgc,ckd->tkgd", weights, v)
+    scores = np.matmul(qg, k.transpose(1, 2, 0))
+    scores /= np.sqrt(head_dim)
+    # Mask and softmax in place: invisible cells are driven to -inf before
+    # the shift-exp-normalize, so their weights are exactly zero.  Same
+    # arithmetic as ``softmax(np.where(mask, scores, -inf))`` without the
+    # three full-size temporaries — this runs once per layer per batch.
+    if invisible is None:
+        invisible = ~mask[:, None, None, :]
+    np.copyto(scores, -np.inf, where=invisible)
+    scores -= np.max(scores, axis=-1, keepdims=True)
+    np.exp(scores, out=scores)
+    scores /= np.sum(scores, axis=-1, keepdims=True)
+    out = np.matmul(scores, v.transpose(1, 0, 2))
     return out.reshape(n_tokens, n_heads, head_dim)
 
 

@@ -154,6 +154,17 @@ class RangeKVCache:
 
     # -- queries (KVCache-compatible) ---------------------------------------
 
+    @property
+    def n_used(self) -> int:
+        """Upper bound on occupied cells: total tracked (seq, pos) pairs.
+
+        Interval metadata has no cell identity, so entries shared between
+        sequences by ``seq_cp`` are counted once per sequence — an
+        overestimate of :attr:`KVCache.n_used` that is safe for admission
+        throttling (it can only admit later, never overflow).
+        """
+        return sum(len(ivals) for ivals in self._seqs.values())
+
     def seq_max_pos(self, seq: int) -> int:
         return self._seq(seq).max_value()
 

@@ -46,7 +46,11 @@ from repro.core.run_state import RequestContext, RunKind
 from repro.engines.backend import apply_cache_op
 from repro.metrics.collectors import MetricsCollector
 from repro.metrics.report import RequestReport
-from repro.serve.scheduler import RequestScheduler, worst_case_cell_demand
+from repro.serve.scheduler import (
+    RequestScheduler,
+    unmaterialized_demand,
+    worst_case_cell_demand,
+)
 from repro.util.fifo import SequencePool
 
 
@@ -98,16 +102,27 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
     rotation: Deque[int] = deque()
     reports: List[RequestReport] = []
 
+    def admission_fits() -> bool:
+        demand = worst_case_cell_demand(scheduler.peek_next().job, cfg)
+        if not cfg.admission_live_cells:
+            return budget.fits(demand)
+        # Live-cell policy: admit against real occupancy (O(1) per shard)
+        # plus the in-flight demand of requests whose prefill has not yet
+        # materialized any cells — far more aggressive than committing
+        # every active request's static worst case.
+        pending = unmaterialized_demand(active.values(), cfg)
+        return budget.fits_live(engine.worker_cells_used() + pending, demand)
+
     def admit_ready() -> None:
         # Bounded caches (functional mode) cannot evict mid-flight, so
-        # admission waits for cell room.  The budget check is O(1): the
-        # committed total is maintained on admit/release rather than
+        # admission waits for cell room.  The static budget check is O(1):
+        # the committed total is maintained on admit/release rather than
         # re-summed over active requests or scanned from cache cells.
         while (
             scheduler.ready(kernel.now)
             and pool.available()
             and scheduler.may_admit(len(active))
-            and budget.fits(worst_case_cell_demand(scheduler.peek_next().job, cfg))
+            and admission_fits()
         ):
             req = scheduler.pop_ready(kernel.now)
             ctx = new_request_context(

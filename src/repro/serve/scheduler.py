@@ -47,6 +47,23 @@ def worst_case_cell_demand(job: GenerationJob, config) -> int:
     )
 
 
+def unmaterialized_demand(active_contexts, config) -> int:
+    """Worst-case cells of admitted-but-not-yet-prefilled requests.
+
+    The live ``n_used`` admission signal lags dispatch: a request admitted
+    a moment ago has its prefill in flight and *no cells resident yet*, so
+    back-to-back admissions (closed-loop arrival bursts) would all see the
+    same stale occupancy.  Counting un-prefilled requests at their full
+    worst case closes that hole; once prefill logits return, the prompt's
+    cells are resident on every shard and the live signal takes over.
+    """
+    return sum(
+        worst_case_cell_demand(ctx.job, config)
+        for ctx in active_contexts
+        if not ctx.prefilled
+    )
+
+
 @dataclass(frozen=True)
 class Workload:
     """A stream of jobs with an arrival trace.
