@@ -1,11 +1,10 @@
 """Tables I & III: model-pair catalogs and footprints."""
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.experiments.tables import table_model_files, table_pairs, table_testbeds
 from repro.models.cost import CostModel
-from repro.models.zoo import ALL_PAIRS, CPU_PAIRS, GPU_PAIRS, MODEL_ZOO
+from repro.models.zoo import ALL_PAIRS, CPU_PAIRS, GPU_PAIRS
 
 
 def test_tab1_tab3_model_pairs(benchmark):

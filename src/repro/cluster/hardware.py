@@ -12,7 +12,7 @@ of the roofline used at larger batch sizes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.util.units import GB, GiB
 

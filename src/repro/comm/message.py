@@ -9,7 +9,7 @@ guarantee (paper Section IV-A2).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 #: Wildcards accepted by receive and probe operations.

@@ -9,8 +9,8 @@ Python object through unserialized.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, List, Optional
 
 
 @dataclass

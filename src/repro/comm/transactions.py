@@ -27,12 +27,14 @@ class TransactionType(enum.IntEnum):
     DECODE = Tag.DECODE
     CACHE_OP = Tag.CACHE_OP
     SHUTDOWN = Tag.CONTROL
-    #: A worker-to-worker fused window: one payload piece (a
+    #: A fused window: one payload piece (a
     #: :class:`~repro.comm.payloads.FusedBatch`) carrying several decode
     #: runs and interleaved cache-op batches in dispatch order.  Heads
-    #: always emit singleton DECODE / CACHE_OP transactions; workers fuse
-    #: them and forward the window as one transaction so downstream stages
-    #: pay one dispatch per window instead of one per run.
+    #: emit them as dispatch *bursts* (a whole round of runs coalesced at
+    #: the first hop — capped at ``max_fused_runs`` runs per transaction);
+    #: workers fuse whatever waits in their mailbox and forward the window
+    #: as one transaction so downstream stages pay one dispatch per window
+    #: instead of one per run.
     FUSED = Tag.FUSED
 
 

@@ -24,11 +24,17 @@ speculative runs of many live requests through one pipeline.
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional
+from typing import Dict, Generator, List, Sequence, Tuple
 
 from repro.cluster.kernel import Delay
 from repro.comm.message import Tag
-from repro.comm.payloads import Activations, CancelMsg, DecodeMeta, TokenSlot
+from repro.comm.payloads import (
+    Activations,
+    CancelMsg,
+    DecodeMeta,
+    FusedRun,
+    TokenSlot,
+)
 from repro.core.continuous import CutoffController
 from repro.core.multibuffer import MultibufferManager
 from repro.core.run_state import RequestContext, RunFIFO, RunKind, RunRecord
@@ -73,14 +79,15 @@ def new_request_context(
 # ---------------------------------------------------------------------------
 
 
-def send_record(engine, rec: RunRecord, states, want_all_logits: bool = True) -> None:
-    """Send one run's decode transaction into the pipeline.
+def build_run_payload(
+    rec: RunRecord, states, want_all_logits: bool = True
+) -> Tuple[DecodeMeta, Activations]:
+    """The (meta, activations) pieces of one run's decode transaction.
 
     ``want_all_logits`` is True for verification runs (every slot's logits
     feed the verify walk) and False for prefill, where only the last
     prompt slot's logits are sampled.
     """
-    first_target = engine.target_ranks()[0]
     slots = [
         TokenSlot(
             tok,
@@ -90,26 +97,44 @@ def send_record(engine, rec: RunRecord, states, want_all_logits: bool = True) ->
         )
         for i, tok in enumerate(rec.tokens)
     ]
-    # send_decode stamps meta.nbytes from the backend's cost descriptor.
     meta = DecodeMeta(rec.run_id, slots, rec.is_speculative, oracle_states=states)
     act = Activations(
         rec.run_id,
         nbytes=TOKEN_ACTIVATION_BYTES_PER_TOKEN * len(rec.tokens),
         hidden=None,
     )
+    return meta, act
+
+
+def send_record(engine, rec: RunRecord, states, want_all_logits: bool = True) -> None:
+    """Send one run's decode transaction into the pipeline."""
+    first_target = engine.target_ranks()[0]
+    # send_decode stamps meta.nbytes from the backend's cost descriptor.
+    meta, act = build_run_payload(rec, states, want_all_logits)
     engine.send_decode(first_target, meta, act)
     rec.dispatched_at = engine.net.kernel.now
+
+
+def track_dispatch(engine, ctx: RequestContext, rec: RunRecord) -> None:
+    """Per-dispatch bookkeeping shared by the singleton and burst paths.
+
+    The two dispatch paths must stay bookkeeping-identical for the
+    burst-ablation differential suites to be meaningful, so the stamp /
+    FIFO push / counter live here and nowhere else.
+    """
+    rec.dispatched_at = engine.net.kernel.now
+    ctx.fifo.push(rec)
+    ctx.metrics.stats.dispatched += 1
 
 
 def send_run(engine, ctx: RequestContext, rec: RunRecord, states) -> None:
     """Dispatch ``rec`` into the pipeline and track it in the request FIFO."""
     send_record(engine, rec, states)
-    ctx.fifo.push(rec)
-    ctx.metrics.stats.dispatched += 1
+    track_dispatch(engine, ctx, rec)
 
 
-def dispatch_canonical(engine, ctx: RequestContext) -> RunRecord:
-    """The guaranteed-progress single-token run for the accepted tip."""
+def canonical_entry(engine, ctx: RequestContext):
+    """Build (rec, states) for the tip's guaranteed-progress run."""
     tip = len(ctx.accepted) - 1
     rec = RunRecord(
         engine.new_run_id(),
@@ -119,8 +144,14 @@ def dispatch_canonical(engine, ctx: RequestContext) -> RunRecord:
         ctx.kv.canonical,
     )
     states = engine.backend.slot_states(ctx.chain, tip, 1)
-    send_run(engine, ctx, rec, states)
     ctx.metrics.stats.canonical += 1
+    return rec, states
+
+
+def dispatch_canonical(engine, ctx: RequestContext) -> RunRecord:
+    """The guaranteed-progress single-token run for the accepted tip."""
+    rec, states = canonical_entry(engine, ctx)
+    send_run(engine, ctx, rec, states)
     return rec
 
 
@@ -141,8 +172,7 @@ def dispatch_prefill(engine, ctx: RequestContext) -> RunRecord:
     )
     states = engine.backend.slot_states(ctx.chain, 0, len(rec.tokens))
     send_record(engine, rec, states, want_all_logits=False)
-    ctx.fifo.push(rec)
-    ctx.metrics.stats.dispatched += 1
+    track_dispatch(engine, ctx, rec)
     return rec
 
 
@@ -270,43 +300,144 @@ def spec_allowed(engine, ctx: RequestContext) -> bool:
     return ctx.kv.can_allocate() and ctx.n_spec_inflight == 0
 
 
-def draft_and_dispatch(engine, ctx: RequestContext) -> Generator:
-    """Draft a speculative micro-batch and dispatch it; returns the count.
+def spec_allowed_serving(engine, ctx: RequestContext, n_active: int) -> bool:
+    """Serving-mode speculation gate: depth adapts to concurrency.
 
-    Returns 0 when the confidence cutoff halted drafting before the first
-    proposal (the caller decays the cutoff / moves to another request).
+    Single-job continuous speculation fills pipeline bubbles with *depth*
+    — chains of unverified micro-batches up to ``lookahead_cap``.  Under
+    serving load the batched draft round fills them with *width* (one run
+    per request), and deep per-request chains become waste: every chained
+    run builds on unverified drafts, so one early rejection invalidates a
+    whole tower per request — multiplied by however many requests drafted
+    in lockstep.  The gate therefore shares the lookahead budget across
+    the active set: each request may hold about
+
+        ``(lookahead_cap / microbatch_size) / n_active``
+
+    speculative runs in flight (at least one).  With one active request
+    this is the historical depth; with many, chaining tapers off and
+    cross-request width keeps the pipeline saturated instead — speculation
+    depth adapting to real-time conditions, as IV-B2 prescribes for the
+    cutoff.  The Figure-8 non-continuous ablation keeps its one-run rule.
+    """
+    cfg = engine.config
+    if not cfg.enable_continuous:
+        return ctx.kv.can_allocate() and ctx.n_spec_inflight == 0
+    depth_budget = max(
+        1, (cfg.lookahead_cap // max(cfg.microbatch_size, 1)) // max(n_active, 1)
+    )
+    return (
+        ctx.kv.can_allocate()
+        and ctx.n_spec_inflight < depth_budget
+        and len(ctx.chain) - len(ctx.accepted) < cfg.lookahead_cap
+    )
+
+
+def draft_round(
+    engine, ctxs: Sequence[RequestContext]
+) -> Generator[object, object, Dict[int, int]]:
+    """Lockstep batched drafting across several requests' chains.
+
+    Each step proposes the next token for *every* participating chain in
+    one batched draft pass (:meth:`~repro.engines.backend.Backend.propose_multi`)
+    charged a single fused pass time; a chain whose confidence falls below
+    its request's cutoff drops out of the round, the rest continue up to
+    ``microbatch_size`` tokens.  Returns ``req_id -> proposal count``
+    (zero entries mean that request's cutoff halted drafting immediately).
+
+    With one participant this is exactly the historical sequential
+    drafting loop; the differential suites pin the wider batches to it.
     """
     be = engine.backend
     cfg = engine.config
     ep = engine.ep()
-    first_target, last_target = (
-        engine.target_ranks()[0], engine.target_ranks()[-1],
-    )
-    chain = ctx.chain
-    mb: MultibufferManager = ctx.kv
+    last_target = engine.target_ranks()[-1]
 
-    proposed = 0
+    participants = list(ctxs)
+    proposed: Dict[int, int] = {ctx.req_id: 0 for ctx in ctxs}
     for _ in range(cfg.microbatch_size):
-        t = be.draft_token_time()
+        if not participants:
+            break
+        t = be.draft_batch_time(len(participants))
         yield Delay(t)
         engine.metrics.add_busy(0, t)
-        token, conf = be.propose(chain)
-        if conf < ctx.cutoff.current:
-            break
-        ctx.drafted[len(chain)] = token
-        chain.append(token)
-        proposed += 1
+        engine.metrics.record_draft_batch(len(participants))
+        results = be.propose_multi([ctx.chain for ctx in participants])
+        keep = []
+        for ctx, (token, conf) in zip(participants, results):
+            if conf < ctx.cutoff.current:
+                continue
+            ctx.drafted[len(ctx.chain)] = token
+            ctx.chain.append(token)
+            proposed[ctx.req_id] += 1
+            keep.append(ctx)
+        participants = keep
         # Probe between draft passes (a head-side synchronization
         # point): when logits are waiting, dispatch what we have
         # and go sample — sampling latency must not grow with the
         # draft model's size (Section IV-A).
         if ep.iprobe(last_target, Tag.LOGITS):
             break
-    if proposed:
+    return proposed
+
+
+def dispatch_burst(engine, entries) -> List[int]:
+    """Send several runs into the pipeline as coalesced burst transactions.
+
+    ``entries`` is an ordered list of ``(ctx, rec, states, ops)``: each
+    run's record, its per-slot oracle states, and the cache ops that must
+    precede it (context materialization — Section IV-C3).  Under
+    ``burst_dispatch`` the whole list travels as FUSED transactions of at
+    most ``max_fused_runs`` runs each, every run's ops immediately before
+    it, so the first stage's fusion window sees the burst at once instead
+    of dribbling one run per head iteration; otherwise each run goes out
+    as the historical singleton CACHE_OP + DECODE pair.  Either way the
+    per-request FIFOs and the returned req-id order match the entry
+    order, which MPI non-overtaking turns into the logits return order.
+    """
+    cfg = engine.config
+    first_target = engine.target_ranks()[0]
+    rids: List[int] = []
+    if not cfg.burst_dispatch:
+        for ctx, rec, states, ops in entries:
+            engine.send_cache_ops(first_target, ops)
+            send_run(engine, ctx, rec, states)
+            rids.append(ctx.req_id)
+        return rids
+    items: List = []
+    n_runs = 0
+    for ctx, rec, states, ops in entries:
+        if n_runs >= cfg.max_fused_runs:
+            engine.send_burst(first_target, items)
+            items, n_runs = [], 0
+        if ops:
+            items.append(list(ops))
+        meta, act = build_run_payload(rec, states)
+        items.append(FusedRun(meta, act))
+        n_runs += 1
+        track_dispatch(engine, ctx, rec)
+        rids.append(ctx.req_id)
+    if items:
+        engine.send_burst(first_target, items)
+    return rids
+
+
+def dispatch_spec_burst(engine, dispatches) -> List[int]:
+    """Dispatch one speculative run per ``(ctx, n_proposed)`` pair.
+
+    Allocates each request's partition, builds its context ops and run
+    record in order, and hands the whole batch to :func:`dispatch_burst`.
+    Returns the dispatched req ids in order (the serving head appends
+    them to its global logits-arrival FIFO).
+    """
+    be = engine.backend
+    entries = []
+    for ctx, n in dispatches:
+        chain = ctx.chain
+        mb: MultibufferManager = ctx.kv
         seq = mb.allocate()
-        start = len(chain) - proposed
+        start = len(chain) - n
         ops = mb.ops_for_spec_dispatch(seq, len(ctx.accepted), start)
-        engine.send_cache_ops(first_target, ops)
         rec = RunRecord(
             engine.new_run_id(),
             RunKind.SPECULATIVE,
@@ -314,14 +445,29 @@ def draft_and_dispatch(engine, ctx: RequestContext) -> Generator:
             start,
             seq,
         )
-        states = be.slot_states(chain, start, proposed)
-        send_run(engine, ctx, rec, states)
+        states = be.slot_states(chain, start, n)
+        entries.append((ctx, rec, states, ops))
         mb.on_spec_dispatch(seq)
         ctx.n_spec_inflight += 1
         ctx.metrics.stats.speculative += 1
-        ctx.metrics.stats.draft_tokens_proposed += proposed
+        ctx.metrics.stats.draft_tokens_proposed += n
         ctx.cutoff.on_dispatched()
-    return proposed
+    return dispatch_burst(engine, entries)
+
+
+def draft_and_dispatch(engine, ctx: RequestContext) -> Generator:
+    """Draft a speculative micro-batch and dispatch it; returns the count.
+
+    Returns 0 when the confidence cutoff halted drafting before the first
+    proposal (the caller decays the cutoff / moves to another request).
+    Single-request form of the batched round: the serving head drafts
+    many requests per round through :func:`draft_round` directly.
+    """
+    proposed = yield from draft_round(engine, [ctx])
+    n = proposed[ctx.req_id]
+    if n:
+        dispatch_spec_burst(engine, [(ctx, n)])
+    return n
 
 
 # ---------------------------------------------------------------------------

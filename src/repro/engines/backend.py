@@ -16,16 +16,16 @@ sizes, and memory footprints.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cluster.hardware import NodeSpec
-from repro.comm.payloads import Activations, CacheOp, CacheOpKind, DecodeMeta, TokenSlot
+from repro.comm.payloads import CacheOp, CacheOpKind, DecodeMeta, TokenSlot
 from repro.models.cost import CostModel
 from repro.models.kv_cache import KVCache
-from repro.models.oracle import DraftOracle, OracleLM, OracleLogits, make_aligned_pair
+from repro.models.oracle import OracleLM, OracleLogits, make_aligned_pair
 from repro.models.range_cache import RangeKVCache
 from repro.models.sampler import LogitsLike, softmax_probs
 from repro.models.transformer import TinyTransformer
@@ -50,10 +50,12 @@ class ChainState:
         self.tokens: List[int] = list(tokens)
         self._oracle = oracle
         self._states: Optional[List[int]] = None
-        #: Functional-mode incremental draft KV context (owned by
-        #: :class:`FunctionalBackend`; None for oracle chains).  Living on
-        #: the chain keeps it per-request under serving multiplexing.
-        self.draft_kv: Optional["_DraftKVState"] = None
+        #: Functional-mode binding into the backend's shared draft-KV
+        #: plane (the sequence id holding this chain's incremental draft
+        #: context; None until first proposal, and for oracle chains).
+        #: Living on the chain keeps it per-request under serving
+        #: multiplexing; :meth:`Backend.release_chain` returns it.
+        self.draft_seq: Optional[int] = None
         if oracle is not None:
             states = [oracle.init_state(())]
             for t in self.tokens:
@@ -158,6 +160,30 @@ class Backend(ABC):
     def propose(self, chain: ChainState) -> Tuple[int, float]:
         """The draft model's greedy continuation of the chain: (token, conf)."""
 
+    def propose_multi(
+        self, chains: Sequence[ChainState]
+    ) -> List[Tuple[int, float]]:
+        """Greedy continuations for several chains, one batched draft pass.
+
+        The serving head's draft scheduler collects every request whose
+        chain wants a proposal step and evaluates all their one-token
+        draft decodes together.  The contract is differential: the result
+        must equal ``[self.propose(c) for c in chains]`` token-for-token
+        (and leave identical per-chain draft-KV state) — batching is a
+        scheduling optimization, never a semantic one.  The default is
+        that sequential reference; the functional backend overrides it
+        with a single cross-chain ``batched_grouped_attention`` pass.
+        """
+        return [self.propose(chain) for chain in chains]
+
+    def release_chain(self, chain: ChainState) -> None:
+        """Drop any backend-side draft state held for ``chain``.
+
+        Serving heads call this when a request completes so the shared
+        draft-KV plane frees the chain's cells and sequence id.  Default:
+        nothing to release (oracle chains carry their own states).
+        """
+
     @abstractmethod
     def propose_alternatives(
         self, prefix: Sequence[int], n: int
@@ -171,6 +197,16 @@ class Backend(ABC):
         Used by PipeInfer, whose dedicated speculation node hosts the
         whole draft model locally (Section II-C).
         """
+
+    def draft_batch_time(self, n_chains: int) -> float:
+        """Cost of one *batched* draft pass proposing for ``n_chains`` chains.
+
+        A fused pass streams the draft model's weights once for the whole
+        batch, so it is charged a single batched forward time rather than
+        ``n_chains`` sequential passes.  Default (no batching support):
+        the sequential sum.
+        """
+        return n_chains * self.draft_token_time()
 
     def draft_pipeline_token_time(self, nodes, link_latency: float) -> float:
         """Cost of one draft-model pass distributed across the pipeline.
@@ -333,22 +369,79 @@ class Backend(ABC):
 # ---------------------------------------------------------------------------
 
 
-class _DraftKVState:
-    """One chain's incremental draft-model KV context (head-side).
+class _DraftPlane:
+    """The head node's shared draft-model KV plane (all chains, one cache).
 
     PipeInfer's head hosts the whole draft model (Section II-C), so its
-    drafting cost must be one forward pass per proposed token.  The cache
-    holds the chain prefix already evaluated; each proposal decodes only
-    the suffix beyond the longest common prefix instead of re-running the
-    full chain — turning per-token drafting from O(chain^2) to O(chain).
+    drafting cost must be one forward pass per proposed token.  Every
+    chain binds a private *sequence id* in one shared tensor-backed
+    :class:`KVCache`; the cache holds each chain's already-evaluated
+    prefix, so a proposal decodes only the suffix beyond the longest
+    common prefix — O(chain), not O(chain^2) — and, because all chains
+    share the cache, the suffix slots of *several* chains concatenate
+    into one cross-request batch whose per-chain visibility falls out of
+    the sequence metadata exactly as it does for fused verification
+    windows.  The cache grows in place as serving chains lengthen.
     """
 
-    __slots__ = ("cache", "tokens")
+    def __init__(self, model: TinyTransformer, n_cells: int = 1024) -> None:
+        self.model = model
+        self.cache = model.new_cache(n_cells)
+        #: seq -> tokens whose cells the cache holds (positions 0..n-1).
+        self.tokens: dict = {}
+        self._next_seq = 0
+        self._free_seqs: List[int] = []
 
-    def __init__(self, cache: KVCache) -> None:
-        self.cache = cache
-        #: Tokens whose cells the cache currently holds (positions 0..n).
-        self.tokens: List[int] = []
+    def bind(self, chain: ChainState) -> int:
+        """The chain's plane sequence id, assigned on first use."""
+        if chain.draft_seq is None:
+            if self._free_seqs:
+                chain.draft_seq = self._free_seqs.pop()
+            else:
+                chain.draft_seq = self._next_seq
+                self._next_seq += 1
+            self.tokens[chain.draft_seq] = []
+        return chain.draft_seq
+
+    def release(self, chain: ChainState) -> None:
+        """Free the chain's cells and return its sequence id to the pool."""
+        seq = chain.draft_seq
+        if seq is None:
+            return
+        self.cache.seq_rm(seq, 0, SEQ_END)
+        self.tokens.pop(seq, None)
+        self._free_seqs.append(seq)
+        chain.draft_seq = None
+
+    def suffix_slots(self, chain: ChainState) -> List[TokenSlot]:
+        """Slots decoding the chain's tokens past its cached prefix.
+
+        Trims any stale cached suffix first (the head reconciled the
+        chain), and always re-decodes at least the last chain token —
+        whose logits are the proposal being asked for.
+        """
+        seq = self.bind(chain)
+        prefix = chain.tokens
+        cached = self.tokens[seq]
+        common = 0
+        limit = min(len(cached), len(prefix) - 1)
+        while common < limit and cached[common] == prefix[common]:
+            common += 1
+        if common < len(cached):
+            self.cache.seq_rm(seq, common, SEQ_END)
+        self.tokens[seq] = list(prefix)
+        return [
+            TokenSlot(token=prefix[i], pos=i, seq_ids=(seq,),
+                      want_logits=(i == len(prefix) - 1))
+            for i in range(common, len(prefix))
+        ]
+
+    def decode(self, slots: Sequence[TokenSlot]) -> np.ndarray:
+        """One draft forward for a (possibly cross-chain) slot batch."""
+        if self.cache.n_free < len(slots):
+            need = self.cache.n_used + len(slots)
+            self.cache.grow(max(2 * self.cache.n_cells, 2 * need))
+        return self.model.decode(list(slots), self.cache)
 
 
 class FunctionalBackend(Backend):
@@ -375,6 +468,8 @@ class FunctionalBackend(Backend):
         self.vocab = target.cfg.vocab
         self.n_target_layers = target.cfg.n_layers
         self.n_cells = n_cells
+        #: Shared head-side draft-KV plane (built on first proposal).
+        self._draft_plane: Optional[_DraftPlane] = None
 
     # -- drafting ----------------------------------------------------------------
 
@@ -390,44 +485,41 @@ class FunctionalBackend(Backend):
         cache = self.draft.new_cache(len(prefix))
         return self.draft.decode(slots, cache)[0]
 
-    #: End bound for "trim the whole cached suffix" removals.
-    _DRAFT_SEQ_END = 1 << 40
-
-    def _draft_logits_incremental(self, chain: ChainState) -> np.ndarray:
-        """Last-token draft logits, decoding only past the cached prefix.
-
-        The chain's draft KV context survives across proposals (and across
-        reconciliations: diverged suffixes are trimmed with ``seq_rm`` and
-        re-decoded), so continuous speculation pays one draft forward per
-        token rather than one per token *per chain position*.
-        """
-        prefix = chain.tokens
-        st = chain.draft_kv
-        if st is None or len(prefix) > st.cache.n_cells:
-            st = _DraftKVState(self.draft.new_cache(max(64, 2 * len(prefix))))
-            chain.draft_kv = st
-        common = 0
-        limit = min(len(st.tokens), len(prefix) - 1)
-        while common < limit and st.tokens[common] == prefix[common]:
-            common += 1
-        # Cells beyond the common prefix hold a stale suffix (the head
-        # reconciled the chain) — or the already-evaluated last token,
-        # whose logits are wanted again; re-decode from there.
-        if common < len(st.tokens):
-            st.cache.seq_rm(0, common, self._DRAFT_SEQ_END)
-        slots = [
-            TokenSlot(token=prefix[i], pos=i, seq_ids=(0,),
-                      want_logits=(i == len(prefix) - 1))
-            for i in range(common, len(prefix))
-        ]
-        st.tokens = list(prefix)
-        return self.draft.decode(slots, st.cache)[0]
+    def _plane(self) -> _DraftPlane:
+        if self._draft_plane is None:
+            self._draft_plane = _DraftPlane(self.draft)
+        return self._draft_plane
 
     def propose(self, chain: ChainState) -> Tuple[int, float]:
-        logits = self._draft_logits_incremental(chain)
-        probs = softmax_probs(logits)
-        token = int(np.argmax(probs))
-        return token, float(probs[token])
+        return self.propose_multi([chain])[0]
+
+    def propose_multi(
+        self, chains: Sequence[ChainState]
+    ) -> List[Tuple[int, float]]:
+        """One draft forward proposing the next token for every chain.
+
+        Each chain contributes the slots past its cached plane prefix
+        (usually one: its newest token); the concatenated batch runs as a
+        single ``batched_grouped_attention`` pass per draft layer, with
+        per-chain sequence ids keeping the attention views disjoint.  The
+        ``want_logits`` slots — each chain's last token, in chain order —
+        yield one (token, confidence) proposal per chain.
+        """
+        plane = self._plane()
+        slots: List[TokenSlot] = []
+        for chain in chains:
+            slots.extend(plane.suffix_slots(chain))
+        logits = plane.decode(slots)
+        out: List[Tuple[int, float]] = []
+        for row in logits:
+            probs = softmax_probs(row)
+            token = int(np.argmax(probs))
+            out.append((token, float(probs[token])))
+        return out
+
+    def release_chain(self, chain: ChainState) -> None:
+        if self._draft_plane is not None:
+            self._draft_plane.release(chain)
 
     def propose_alternatives(self, prefix: Sequence[int], n: int) -> List[Tuple[int, float]]:
         logits = self._draft_logits(prefix)
@@ -436,6 +528,11 @@ class FunctionalBackend(Backend):
         return [(int(t), float(probs[t])) for t in order]
 
     def draft_token_time(self) -> float:
+        return self.DRAFT_TIME
+
+    def draft_batch_time(self, n_chains: int) -> float:
+        # One fused pass streams the draft weights once for the batch,
+        # matching the fixed per-pass constant of the singleton path.
         return self.DRAFT_TIME
 
     # -- worker compute -------------------------------------------------------------
@@ -662,6 +759,12 @@ class OracleBackend(Backend):
 
     def draft_token_time(self) -> float:
         return self._draft_pass_time
+
+    def draft_batch_time(self, n_chains: int) -> float:
+        # A batched draft pass over n one-token decodes: the analytic
+        # model charges one full-model pass at batch width n (weights
+        # streamed once), not n sequential single-token passes.
+        return self.draft_cost.full_model_time(self.head_node, max(n_chains, 1))
 
     def draft_pipeline_token_time(self, nodes, link_latency: float) -> float:
         arch = self.pair.draft_arch

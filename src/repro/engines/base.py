@@ -14,22 +14,21 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field, replace
 from typing import Generator, List, Optional, Sequence, Tuple
 
-from repro.cluster.kernel import Delay, SimKernel, run_to_completion
+from repro.cluster.kernel import SimKernel, run_to_completion
 from repro.cluster.topology import Cluster
-from repro.comm.message import Tag
 from repro.comm.mpi_sim import Endpoint, Network
 from repro.comm.payloads import (
     Activations,
     CacheOp,
     DecodeMeta,
+    FusedBatch,
+    FusedRun,
     ShutdownMsg,
-    TokenSlot,
 )
 from repro.comm.transactions import TransactionType, send_transaction
-from repro.engines.backend import Backend, WorkerState, apply_cache_op
+from repro.engines.backend import Backend
 from repro.metrics.collectors import MetricsCollector
 from repro.metrics.report import EngineReport
-from repro.models.sampler import LogitsLike, argmax_token
 from repro.pipeline.partition import partition_for
 from repro.spec.draft import DraftParams
 
@@ -69,6 +68,15 @@ class EngineConfig:
     #: Cap on decode runs a pipeline stage fuses into one cross-run batch
     #: (1 disables multi-run batching; ablation / differential testing).
     max_fused_runs: int = 8
+    #: Cap on request chains the serving head drafts per batched draft
+    #: round (1 restores sequential one-request-at-a-time drafting; the
+    #: differential suite pins both to identical served tokens).
+    max_draft_batch: int = 8
+    #: Coalesce the head's run dispatches (cache ops + decodes) into one
+    #: FUSED transaction burst per hop so worker fusion windows see a
+    #: whole round at once.  False restores singleton CACHE_OP + DECODE
+    #: transactions per run (ablation / differential testing).
+    burst_dispatch: bool = True
     #: Serving admission policy: when True, admit against the workers'
     #: *live* cells-in-use (``KVCache.n_used``, O(1)) instead of the sum
     #: of every active request's static worst-case demand.  Optimistic:
@@ -105,6 +113,10 @@ class EngineConfig:
         if self.max_fused_runs < 1:
             raise ValueError(
                 f"max_fused_runs must be positive, got {self.max_fused_runs}"
+            )
+        if self.max_draft_batch < 1:
+            raise ValueError(
+                f"max_draft_batch must be positive, got {self.max_draft_batch}"
             )
 
     def ablated(self, **changes) -> "EngineConfig":
@@ -303,6 +315,30 @@ class BaseEngine(ABC):
             dest,
             TransactionType.DECODE,
             [(meta, meta.nbytes), (act, act.nbytes)],
+        )
+
+    def send_burst(self, dest: int, items: Sequence) -> None:
+        """Send one FUSED transaction coalescing several runs' dispatches.
+
+        ``items`` is an ordered window of :class:`FusedRun` entries and
+        plain ``List[CacheOp]`` batches — the same wire shape workers
+        forward between stages — so a burst of a whole dispatch round
+        reaches the first stage as a single transaction: its fusion
+        window sees every run at once instead of one run per head-loop
+        iteration.  Meta sizes are stamped here like :meth:`send_decode`.
+        """
+        if not items:
+            return
+        nbytes = 0.0
+        for item in items:
+            if isinstance(item, FusedRun):
+                item.meta.nbytes = self.backend.meta_nbytes(item.meta.n_tokens)
+                nbytes += item.meta.nbytes + item.act.nbytes
+            else:
+                nbytes += CACHE_OP_NBYTES * len(item)
+        fb = FusedBatch(list(items), nbytes=nbytes)
+        send_transaction(
+            self.ep(), dest, TransactionType.FUSED, [(fb, fb.nbytes)]
         )
 
     def send_cache_ops(self, dest: int, ops: Sequence[CacheOp]) -> None:

@@ -8,7 +8,7 @@ full pipeline traversal — the design whose bubbles PipeInfer fills.
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional, Sequence
+from typing import Generator, List
 
 from repro.cluster.kernel import Delay
 from repro.comm.message import Tag

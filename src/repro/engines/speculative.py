@@ -23,7 +23,6 @@ from repro.engines.base import BaseEngine, GenerationJob
 from repro.engines.iterative import PipelinedHeadMixin
 from repro.models.sampler import argmax_token
 from repro.spec.draft import draft_tree
-from repro.spec.tree import SpecTree
 from repro.spec.tree_attention import assign_tree_seqs
 from repro.spec.verify import verify_tree
 

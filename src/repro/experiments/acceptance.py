@@ -7,7 +7,7 @@ reports — the oracle pairs are calibrated so these coincide.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.cluster.testbed import cluster_c
 from repro.experiments.common import ExperimentScale, run_cell

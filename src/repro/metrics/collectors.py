@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 from typing import Dict, List, Optional
 
 
@@ -86,6 +86,9 @@ class MetricsCollector:
         #: rank -> {fusion width -> window count}: how many runs each
         #: stage's fusion windows batched together (width 1 = no fusion).
         self.fusion_width: Dict[int, Dict[int, int]] = {}
+        #: {batch width -> pass count}: how many request chains each of
+        #: the head's draft passes proposed for (width 1 = no batching).
+        self.draft_batch_width: Dict[int, int] = {}
 
     # -- timeline -----------------------------------------------------------
 
@@ -106,6 +109,10 @@ class MetricsCollector:
         """Record one stage window that evaluated ``width`` live runs."""
         hist = self.fusion_width.setdefault(rank, {})
         hist[width] = hist.get(width, 0) + 1
+
+    def record_draft_batch(self, width: int) -> None:
+        """Record one head draft pass that proposed for ``width`` chains."""
+        self.draft_batch_width[width] = self.draft_batch_width.get(width, 0) + 1
 
     def fusion_width_hist(self) -> Dict[int, int]:
         """Width -> window count aggregated over every stage."""

@@ -27,6 +27,8 @@ class EngineReport:
     stats: RunStats
     #: Fusion-width histogram (width -> stage-window count, all ranks).
     fusion_width: Dict[int, int] = field(default_factory=dict)
+    #: Draft-batch-width histogram (chains per head draft pass -> count).
+    draft_batch_width: Dict[int, int] = field(default_factory=dict)
 
     @classmethod
     def from_collector(
@@ -49,6 +51,7 @@ class EngineReport:
             max_node_memory=metrics.max_node_memory(),
             stats=metrics.stats,
             fusion_width=metrics.fusion_width_hist(),
+            draft_batch_width=dict(metrics.draft_batch_width),
         )
 
     def speed_per_gb(self) -> float:
@@ -126,6 +129,8 @@ class ServingReport:
     stats: RunStats
     #: Fusion-width histogram (width -> stage-window count, all ranks).
     fusion_width: Dict[int, int] = field(default_factory=dict)
+    #: Draft-batch-width histogram (chains per head draft pass -> count).
+    draft_batch_width: Dict[int, int] = field(default_factory=dict)
 
     @classmethod
     def from_requests(

@@ -190,6 +190,34 @@ class KVCache:
             cells.append(cell)
         return cells
 
+    def grow(self, n_cells: int) -> int:
+        """Extend capacity to ``n_cells`` in place; returns the new capacity.
+
+        Existing cells keep their indices, metadata, and K/V tensors, so
+        every outstanding cell reference stays valid — the head-side draft
+        plane grows its shared cache this way as serving chains lengthen.
+        A ``n_cells`` at or below the current capacity is a no-op.
+        """
+        if n_cells <= self.n_cells:
+            return self.n_cells
+        old = self.n_cells
+        pos = np.full(n_cells, -1, dtype=np.int64)
+        pos[:old] = self.pos
+        self.pos = pos
+        member = np.zeros((n_cells, self._member.shape[1]), dtype=bool)
+        member[:old] = self._member
+        self._member = member
+        self._free.extend(range(old, n_cells))
+        heapq.heapify(self._free)
+        if self.k is not None:
+            k = np.zeros((self.n_layers, n_cells, self.kv_dim), dtype=self.k.dtype)
+            v = np.zeros_like(k)
+            k[:, :old] = self.k
+            v[:, :old] = self.v
+            self.k, self.v = k, v
+        self.n_cells = n_cells
+        return self.n_cells
+
     def write(self, layer: int, cells, k: np.ndarray, v: np.ndarray) -> None:
         """Store K/V rows for ``cells`` at ``layer`` (tensor-backed only).
 

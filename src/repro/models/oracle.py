@@ -24,7 +24,7 @@ the last pipeline rank can materialize logits without the full prefix.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.util.rng import hash_tokens, splitmix64, unit_float
 

@@ -17,7 +17,7 @@ relative ordering (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.models.arch import ArchSpec
 from repro.models.quant import Quant

@@ -32,14 +32,16 @@ from repro.cluster.kernel import Delay
 from repro.comm.message import Tag
 from repro.comm.payloads import CacheOp, CacheOpKind
 from repro.core.head import (
-    dispatch_canonical,
+    canonical_entry,
+    dispatch_burst,
     dispatch_prefill,
-    draft_and_dispatch,
+    dispatch_spec_burst,
+    draft_round,
     new_request_context,
     cancel_run,
     process_prefill_logits,
     process_run_logits,
-    spec_allowed,
+    spec_allowed_serving,
 )
 from repro.core.multibuffer import SEQ_END, CellBudget, acquire_canonical
 from repro.core.run_state import RequestContext, RunKind
@@ -48,6 +50,7 @@ from repro.metrics.collectors import MetricsCollector
 from repro.metrics.report import RequestReport
 from repro.serve.scheduler import (
     RequestScheduler,
+    spec_dispatch_headroom,
     unmaterialized_demand,
     worst_case_cell_demand,
 )
@@ -81,9 +84,12 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
     The single-job loop's four priorities (sample waiting logits, keep the
     tip covered, speculate, idle) generalize per iteration to: admit
     arrived requests, sample the oldest waiting logits (the global
-    dispatch FIFO identifies the owning request), dispatch a canonical
-    run for any request whose tip is uncovered, then draft for the next
-    request in round-robin order that may speculate.
+    dispatch FIFO identifies the owning request), dispatch canonical runs
+    for every request whose tip is uncovered, then run a *batched draft
+    round*: all requests that may speculate draft together (their
+    one-token draft decodes evaluate as one cross-request batch) and
+    their speculative runs leave as one transaction burst — the draft
+    scheduler keeping the pipeline's fusion windows wide in steady state.
     """
     cfg = engine.config
     ep = engine.ep()
@@ -151,6 +157,7 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
         """All in-flight runs drained: release the request's partitions."""
         engine.send_cache_ops(first_target, ctx.kv.ops_for_request_release())
         ctx.kv.release_canonical()
+        engine.backend.release_chain(ctx.chain)
         ctx.finished_at = kernel.now
         budget.release(ctx.req_id)
         del active[ctx.req_id]
@@ -183,37 +190,64 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
             continue
 
         # ---- priority 2: guaranteed forward progress ----------------------
+        # Every request with an uncovered tip gets its canonical run, all
+        # of them coalesced into one burst transaction (dispatch takes no
+        # simulated time, so batching them never delays sampling).
         progressed = False
+        entries = []
         for rid in list(rotation):
             ctx = active[rid]
             if not ctx.prefilled or ctx.done:
                 continue
             if not ctx.fifo.covers_tip(ctx.accepted):
-                dispatch_canonical(engine, ctx)
-                order.append(rid)
-                progressed = True
-                break
-        if progressed:
+                rec, states = canonical_entry(engine, ctx)
+                entries.append((ctx, rec, states, []))
+        if entries:
+            order.extend(dispatch_burst(engine, entries))
             continue
 
-        # ---- priority 3: continuous speculation, round-robin --------------
-        for _ in range(len(rotation)):
-            rid = rotation[0]
-            rotation.rotate(-1)
+        # ---- priority 3: continuous speculation, batched across requests --
+        # The draft scheduler: collect every request whose chain wants a
+        # proposal step (rotation order for fairness, capped by the knob
+        # and by free KV partitions — each dispatch takes one), run their
+        # one-token draft decodes as lockstep batched passes, then send
+        # the resulting speculative runs as one transaction burst so the
+        # workers' fusion windows see the whole round at once.
+        ready: List[RequestContext] = []
+        limit = min(cfg.max_draft_batch, pool.n_free)
+        headroom = spec_dispatch_headroom(engine, active.values(), cfg)
+        if headroom is not None:
+            limit = min(limit, headroom)
+        # The depth budget is shared over requests that can actually
+        # draft — done-but-draining and un-prefilled requests must not
+        # dilute a lone live request below its full historical depth.
+        n_draftable = sum(
+            1 for c in active.values() if c.prefilled and not c.done
+        )
+        for rid in list(rotation):
+            if len(ready) >= limit:
+                break
             ctx = active[rid]
             if not ctx.prefilled or ctx.done:
                 continue
-            if not spec_allowed(engine, ctx):
+            if not spec_allowed_serving(engine, ctx, n_draftable):
                 continue
-            proposed = yield from draft_and_dispatch(engine, ctx)
-            if proposed:
-                order.append(rid)
+            ready.append(ctx)
+        if ready:
+            rotation.rotate(-1)
+            proposed = yield from draft_round(engine, ready)
+            dispatches = [
+                (ctx, proposed[ctx.req_id])
+                for ctx in ready
+                if proposed[ctx.req_id]
+            ]
+            if dispatches:
+                order.extend(dispatch_spec_burst(engine, dispatches))
                 progressed = True
-                break
-            # Draft confidence halted this request's speculation.
-            ctx.cutoff.on_failed_idle()
-            if ep.iprobe(last_target, Tag.LOGITS):
-                break  # logits arrived during drafting: go sample.
+            for ctx in ready:
+                if not proposed[ctx.req_id]:
+                    # Draft confidence halted this request's speculation.
+                    ctx.cutoff.on_failed_idle()
         if progressed:
             continue
 

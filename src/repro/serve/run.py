@@ -48,6 +48,7 @@ def run_serving(
     # Busy fractions over the serving makespan (head + workers).
     report.utilization = metrics.utilization(total_time=report.makespan)
     report.fusion_width = metrics.fusion_width_hist()
+    report.draft_batch_width = dict(metrics.draft_batch_width)
     return report
 
 

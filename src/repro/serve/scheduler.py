@@ -15,8 +15,8 @@ single-job runs of the same prompts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.engines.base import GenerationJob
 
@@ -62,6 +62,34 @@ def unmaterialized_demand(active_contexts, config) -> int:
         for ctx in active_contexts
         if not ctx.prefilled
     )
+
+
+def spec_dispatch_headroom(engine, active_contexts, config) -> Optional[int]:
+    """Speculative runs the draft scheduler may dispatch under live admission.
+
+    Static worst-case admission already reserves every request's full
+    speculative footprint, so batched rounds can never overflow there —
+    no throttle (None = unbounded).  The optimistic live-cells policy
+    reserves nothing for future growth, and a batched draft round grows
+    *every* request's speculation at once, so the round is capped to what
+    the live free-cell count can absorb: each dispatch materializes at
+    most ``microbatch_size`` fresh cells, and un-prefilled admissions
+    claim their full worst case (same lag rule as admission).  Every
+    in-flight speculative run is also charged ``microbatch_size`` cells —
+    deliberately conservative: the head cannot cheaply tell which runs'
+    cells are already resident (and so counted in ``worker_cells_used``),
+    and under-drafting near capacity only defers speculation, while
+    over-drafting overflows a cache that cannot evict mid-flight.
+    """
+    cap = engine.backend.worker_cell_capacity()
+    if cap is None or not config.admission_live_cells:
+        return None
+    inflight = sum(
+        ctx.n_spec_inflight for ctx in active_contexts
+    ) * config.microbatch_size
+    pending = unmaterialized_demand(active_contexts, config)
+    free = cap - engine.worker_cells_used() - inflight - pending
+    return max(free // config.microbatch_size, 0)
 
 
 @dataclass(frozen=True)

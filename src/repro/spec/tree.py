@@ -9,8 +9,8 @@ while the SpecInfer-style baseline can verify branching trees.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Sequence
 
 
 @dataclass

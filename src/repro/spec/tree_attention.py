@@ -15,7 +15,7 @@ each other (paper Section II-A2).  Two equivalent mechanisms are provided:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set
+from typing import List, Sequence, Set
 
 import numpy as np
 

@@ -9,7 +9,7 @@ the engine relies on (uniqueness in the sequence pool, peek semantics).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Generic, Iterable, Iterator, Optional, TypeVar
+from typing import Deque, Generic, Iterable, Iterator, TypeVar
 
 T = TypeVar("T")
 

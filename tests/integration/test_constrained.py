@@ -1,6 +1,5 @@
 """Constrained-hardware behaviour (paper Figure 7 and Section V-B)."""
 
-import pytest
 
 from repro import (
     GenerationJob,

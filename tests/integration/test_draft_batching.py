@@ -1,0 +1,167 @@
+"""Cross-request draft batching and burst dispatch: engine-level invariants.
+
+The draft scheduler and transaction bursts must be pure scheduling
+optimizations: served outputs are token-identical with batching disabled
+(``max_draft_batch=1``) and with burst dispatch disabled
+(``burst_dispatch=False``); logits return in dispatch order (the FIFO
+discipline the serving head relies on); and under steady serving load the
+scheduler must actually batch (draft width > 1) and widen the workers'
+fusion windows past the historical cap of 2.
+"""
+
+
+from repro import (
+    EngineConfig,
+    FunctionalBackend,
+    GenerationJob,
+    PipeInferEngine,
+    Workload,
+    cluster_c,
+    run_engine,
+)
+from repro.engines.backend import OracleBackend
+from repro.models.zoo import get_pair
+from repro.serve.run import run_serving
+from repro.spec.draft import DraftParams
+from repro.workloads import make_prompt
+from tests.conftest import PROMPT
+
+
+def functional_cfg(**overrides) -> EngineConfig:
+    base = dict(
+        draft=DraftParams(max_tokens=4, cutoff=0.02),
+        cutoff_recovery=0.01,
+        cutoff_decay=0.01,
+        n_seq_partitions=24,
+    )
+    base.update(overrides)
+    return EngineConfig(**base)
+
+
+def steady_workload(n_requests=6, n_generate=16, vocab=128):
+    """Closed-loop (all requests queued at t=0): the steady-state serving
+    regime where cross-request draft batching has material to work with."""
+    kinds = ("wikitext", "code", "explain", "paper", "roleplay")
+    jobs = tuple(
+        GenerationJob(
+            prompt=make_prompt(kinds[i % len(kinds)], length=24, vocab=vocab),
+            n_generate=n_generate,
+        )
+        for i in range(n_requests)
+    )
+    return Workload(jobs=jobs)
+
+
+class TestDraftBatchEquivalence:
+    def test_serving_outputs_invariant_under_draft_batching(
+        self, tiny_target, tiny_draft
+    ):
+        """max_draft_batch=1 (sequential drafting) and unbounded batching
+        must serve token-identical outputs for every request."""
+        workload = steady_workload()
+        reports = {}
+        for cap in (1, 8):
+            backend = FunctionalBackend(tiny_target, tiny_draft, n_cells=4096)
+            reports[cap] = run_serving(
+                PipeInferEngine, backend, cluster_c(4), workload,
+                functional_cfg(max_draft_batch=cap),
+            )
+        assert reports[8].outputs() == reports[1].outputs()
+        assert all(w == 1 for w in reports[1].draft_batch_width)
+        assert max(reports[8].draft_batch_width) > 1
+
+    def test_serving_outputs_invariant_under_burst_dispatch(
+        self, tiny_target, tiny_draft
+    ):
+        workload = steady_workload()
+        reports = {}
+        for burst in (False, True):
+            backend = FunctionalBackend(tiny_target, tiny_draft, n_cells=4096)
+            reports[burst] = run_serving(
+                PipeInferEngine, backend, cluster_c(4), workload,
+                functional_cfg(burst_dispatch=burst),
+            )
+        assert reports[True].outputs() == reports[False].outputs()
+
+    def test_single_job_invariant_under_burst_dispatch(self, functional_backend):
+        job = GenerationJob(prompt=PROMPT, n_generate=24)
+        tokens = {}
+        for burst in (False, True):
+            report = run_engine(
+                PipeInferEngine, functional_backend, cluster_c(4), job,
+                functional_cfg(burst_dispatch=burst),
+            )
+            tokens[burst] = report.tokens
+        assert tokens[True] == tokens[False]
+
+    def test_oracle_serving_invariant_under_draft_batching(self):
+        """The default (sequential) propose_multi drives oracle serving
+        through the same scheduler; outputs must not depend on the cap."""
+        cluster = cluster_c(3)
+        pair = get_pair("dolphin+tinyllama")
+        workload = steady_workload(vocab=pair.target_arch.vocab, n_generate=12)
+        outputs = {}
+        for cap in (1, 8):
+            backend = OracleBackend(pair, head_node=cluster.nodes[0])
+            report = run_serving(
+                PipeInferEngine, backend, cluster, workload,
+                EngineConfig(max_draft_batch=cap),
+            )
+            outputs[cap] = report.outputs()
+        assert outputs[8] == outputs[1]
+
+
+class TestDraftBatchWidths:
+    def test_steady_load_batches_and_widens_fusion(self, tiny_target, tiny_draft):
+        backend = FunctionalBackend(tiny_target, tiny_draft, n_cells=4096)
+        report = run_serving(
+            PipeInferEngine, backend, cluster_c(4), steady_workload(),
+            functional_cfg(),
+        )
+        assert max(report.draft_batch_width) > 1, (
+            f"no batched draft passes under steady load: "
+            f"{report.draft_batch_width}"
+        )
+        assert max(report.fusion_width) > 2, (
+            f"burst dispatch failed to widen fusion windows past 2: "
+            f"{report.fusion_width}"
+        )
+        # Every dispatched run still completes exactly once.
+        assert report.stats.completed == report.stats.dispatched
+
+    def test_mid_stream_completion_releases_draft_plane(
+        self, tiny_target, tiny_draft
+    ):
+        """Requests finishing mid-stream (mid-batch cancellation at the
+        scheduler level) release their plane binding; the remaining
+        requests keep drafting and serve their full budgets."""
+        backend = FunctionalBackend(tiny_target, tiny_draft, n_cells=4096)
+        kinds = ("wikitext", "code", "explain")
+        jobs = tuple(
+            GenerationJob(
+                prompt=make_prompt(kinds[i % len(kinds)], length=24, vocab=128),
+                n_generate=4 + 12 * i,  # staggered completions
+            )
+            for i in range(4)
+        )
+        report = run_serving(
+            PipeInferEngine, backend, cluster_c(4), Workload(jobs=jobs),
+            functional_cfg(),
+        )
+        assert report.token_counts() == {i: 4 + 12 * i for i in range(4)}
+        plane = backend._draft_plane
+        assert plane is not None and not plane.tokens, (
+            "finished requests must release their draft-plane sequences"
+        )
+
+    def test_dispatch_order_matches_logits_order(self, tiny_target, tiny_draft):
+        """Burst-dispatched runs complete in dispatch order: the serving
+        head would desync (and raise) otherwise, so a clean full-budget
+        run is itself the assertion; double-check via run accounting."""
+        backend = FunctionalBackend(tiny_target, tiny_draft, n_cells=4096)
+        report = run_serving(
+            PipeInferEngine, backend, cluster_c(4), steady_workload(),
+            functional_cfg(max_fused_runs=3),  # bursts span several FUSED chunks
+        )
+        assert report.stats.completed == report.stats.dispatched
+        assert all(r.n_tokens == 16 for r in report.requests)

@@ -7,7 +7,6 @@ it lands mid-window.  Under serving load the window must actually fuse
 (width > 1), otherwise the batching headroom is untested.
 """
 
-import pytest
 
 from repro import (
     EngineConfig,

@@ -1,6 +1,5 @@
 """Worker-process protocol behaviour, driven by a hand-written head."""
 
-import pytest
 
 from repro.cluster.kernel import SimKernel, run_to_completion
 from repro.cluster.testbed import cluster_c

@@ -4,7 +4,7 @@ import pytest
 
 from repro.models.arch import ArchSpec
 from repro.models.quant import Quant, bits_per_weight
-from repro.models.zoo import MODEL_ZOO, get_model
+from repro.models.zoo import get_model
 
 
 class TestParamCounts:

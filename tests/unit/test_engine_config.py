@@ -52,3 +52,16 @@ def test_ablated_validates_too():
 def test_zero_cutoff_factors_allowed():
     cfg = EngineConfig(cutoff_recovery=0.0, cutoff_decay=0.0)
     assert cfg.cutoff_recovery == 0.0
+
+
+@pytest.mark.parametrize("value", [0, -1])
+def test_rejects_nonpositive_max_draft_batch(value):
+    with pytest.raises(ValueError, match="max_draft_batch"):
+        EngineConfig(max_draft_batch=value)
+
+
+def test_draft_batch_and_burst_defaults():
+    cfg = EngineConfig()
+    assert cfg.max_draft_batch == 8
+    assert cfg.burst_dispatch is True
+    assert cfg.ablated(max_draft_batch=1, burst_dispatch=False).max_draft_batch == 1

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster.kernel import Delay, Future, SimError, SimKernel, run_to_completion
+from repro.cluster.kernel import Delay, SimError, SimKernel, run_to_completion
 
 
 def test_delay_advances_time():

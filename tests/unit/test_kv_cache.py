@@ -190,3 +190,42 @@ class TestTensorBacked:
         c.seq_rm(1, 0, 2)
         again = c.allocate([(5, {2}), (6, {2})])
         assert set(again) == set(cells)
+
+
+class TestGrow:
+    def test_grow_preserves_metadata_and_tensors(self):
+        c = KVCache(4, n_layers=2, kv_dim=3)
+        cells = c.allocate([(0, {0}), (1, {0}), (2, {1})])
+        c.write(0, cells, np.arange(9.0).reshape(3, 3), np.ones((3, 3)))
+        assert c.grow(10) == 10
+        assert c.n_cells == 10
+        assert c.seq_positions(0) == [0, 1]
+        assert c.seq_positions(1) == [2]
+        assert np.all(c.k[0, cells] == np.arange(9.0).reshape(3, 3))
+        assert np.all(c.v[0, cells] == 1)
+        # The new cells are free and allocatable.
+        more = c.allocate([(p, {2}) for p in range(7)])
+        assert len(more) == 7
+        assert c.n_used == 10
+
+    def test_grow_is_monotonic(self):
+        c = KVCache(8)
+        assert c.grow(4) == 8  # never shrinks
+        assert c.grow(8) == 8
+        assert c.n_cells == 8
+
+    def test_grow_allocation_order_lowest_first(self):
+        c = KVCache(2)
+        c.allocate([(0, {0}), (1, {0})])
+        c.seq_rm(0, 0, 1)  # frees cell 0
+        c.grow(5)
+        got = c.allocate([(5, {1}), (6, {1})])
+        assert got == [0, 2]  # freed low cell first, then the first new one
+
+    def test_grow_visibility_unchanged(self):
+        c = KVCache(3)
+        c.allocate([(0, {0}), (1, {0}), (2, {0})])
+        before = c.visible_cells(0, 2).tolist()
+        c.grow(12)
+        assert c.visible_cells(0, 2).tolist() == before
+        assert c.high_water == 3

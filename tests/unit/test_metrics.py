@@ -105,3 +105,20 @@ class TestReports:
     def test_aggregate_empty_rejected(self):
         with pytest.raises(ValueError):
             aggregate([])
+
+
+class TestDraftBatchHistogram:
+    def test_record_draft_batch_accumulates(self):
+        m = MetricsCollector()
+        m.record_draft_batch(1)
+        m.record_draft_batch(4)
+        m.record_draft_batch(4)
+        assert m.draft_batch_width == {1: 1, 4: 2}
+
+    def test_engine_report_carries_histogram(self):
+        m = MetricsCollector()
+        m.mark_prefill_end(0.0)
+        m.record_tokens(1.0, 1)
+        m.record_draft_batch(3)
+        report = EngineReport.from_collector("pipeinfer", 4, [7], m)
+        assert report.draft_batch_width == {3: 1}
