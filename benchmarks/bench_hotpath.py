@@ -14,7 +14,12 @@ attention kernel.  Three scenarios:
 - ``serving``: a steady-state closed-loop serving workload (8 requests
   queued at t=0, multiplexed through one pipeline), in generated tokens
   per wall-second — the regime where the head's cross-request draft
-  batching and burst dispatch (PR 4) have material to work with.
+  batching and burst dispatch (PR 4) have material to work with;
+- ``serving_prefix``: a shared-system-prompt serving workload run twice
+  — prefix cache off, then on — asserting byte-identical per-request
+  outputs and a >= 25% mean-TTFT cut (simulated time, so deterministic
+  across hosts), and reporting the cache-on wall throughput plus the
+  prefix hit-token count (PR 5's cross-request KV prefix cache).
 
 Results are written to ``BENCH_hotpath.json`` next to the repo root,
 together with the recorded pre-PR baseline, so the perf trajectory is
@@ -46,18 +51,20 @@ from repro import (  # noqa: E402
     EngineConfig,
     FunctionalBackend,
     GenerationJob,
+    OracleBackend,
     PipeInferEngine,
     TinyTransformer,
     TransformerConfig,
     Workload,
     cluster_c,
+    get_pair,
     run_engine,
     run_serving,
 )
 from repro.models.kv_cache import KVCache  # noqa: E402
 from repro.models.transformer import perturbed_copy  # noqa: E402
 from repro.spec.draft import DraftParams  # noqa: E402
-from repro.workloads import make_prompt  # noqa: E402
+from repro.workloads import SharedPrefixTemplate, make_prompt  # noqa: E402
 
 #: Pre-PR baseline, measured at the PR-2 parent commit (6460791) on the
 #: reference container.  ``--update-baseline`` refreshes these numbers from
@@ -214,6 +221,61 @@ def bench_serving(smoke: bool):
     return total / wall, max_width, max_draft
 
 
+def bench_serving_prefix(smoke: bool):
+    """Shared-prefix serving: the cross-request KV prefix cache's scenario.
+
+    A shared-system-prompt workload (every prompt = one shared prefix
+    plus a unique suffix) served closed-loop at ``max_active=2`` so
+    completions interleave with admissions — donations from finished
+    requests are matchable by queued ones, the cache's steady state.
+    Runs the identical workload with the prefix cache off and on
+    (oracle backend: prefill time scales with token count, so the
+    TTFT effect is visible in *simulated* time and identical on every
+    host) and asserts the acceptance bar inline: byte-identical
+    per-request outputs and a >= 25% mean-TTFT reduction.  Returns
+    ``(tokens_per_sec, hit_tokens, ttft_cut)`` where ``tokens_per_sec``
+    is the cache-on run's generated tokens per *wall* second (the
+    radix/match/donate machinery is host code on the serving hot path).
+    """
+    n_requests = 6 if smoke else 12
+    n_generate = 8 if smoke else 16
+    template = SharedPrefixTemplate(
+        shared_len=48 if smoke else 96,
+        unique_len=12 if smoke else 24,
+        seed=5,
+    )
+    pair = get_pair("dolphin+tinyllama")
+    cluster = cluster_c(4)
+    jobs = tuple(
+        GenerationJob(prompt=p, n_generate=n_generate)
+        for p in template.prompts(n_requests, pair.target_arch.vocab)
+    )
+    workload = Workload(jobs=jobs, max_active=2)
+
+    def run_once(prefix_on: bool):
+        backend = OracleBackend(pair, head_node=cluster.nodes[0])
+        cfg = EngineConfig(n_seq_partitions=24, prefix_cache=prefix_on)
+        t0 = time.perf_counter()
+        report = run_serving(PipeInferEngine, backend, cluster, workload, cfg)
+        return report, time.perf_counter() - t0
+
+    off, _ = run_once(False)
+    on, wall = run_once(True)
+    assert on.outputs() == off.outputs(), (
+        "prefix cache changed served tokens — must be a pure metadata win"
+    )
+    assert on.prefix_hit_tokens > 0, (
+        f"shared-prefix workload produced no cache hits: {on.prefix_cache_stats}"
+    )
+    ttft_cut = 1.0 - on.ttft_mean / off.ttft_mean
+    assert ttft_cut >= 0.25, (
+        f"prefix cache cut mean TTFT by only {ttft_cut:.1%} "
+        f"({off.ttft_mean:.2f}s -> {on.ttft_mean:.2f}s); >= 25% required"
+    )
+    total = sum(on.token_counts().values())
+    return total / wall, on.prefix_hit_tokens, ttft_cut
+
+
 # ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
@@ -226,7 +288,15 @@ TRACKED_METRICS = (
     "metadata_ops_per_sec",
     "single_job_tokens_per_sec",
     "serving_tokens_per_sec",
+    "serving_prefix_tokens_per_sec",
 )
+
+#: Deterministic count metrics compared *without* host-speed scaling
+#: (they come from simulated time / cache bookkeeping, identical on any
+#: host): missing always errors, and under ``--gate`` a value below the
+#: committed record fails — fewer cache hits is a behavior regression,
+#: not noise.
+TRACKED_COUNTS = ("serving_prefix_hit_tokens",)
 
 #: Relative drop that triggers a regression warning (informational runs).
 REGRESSION_TOLERANCE = 0.20
@@ -240,6 +310,8 @@ GATE_TOLERANCE = 0.25
 WIDTH_FLOORS = {
     "serving_max_fusion_width": 2,
     "serving_max_draft_batch_width": 1,
+    # The shared-prefix scenario must actually hit the prefix cache.
+    "serving_prefix_hit_tokens": 0,
 }
 
 
@@ -252,6 +324,10 @@ def run(smoke: bool) -> dict:
     results["serving_tokens_per_sec"] = serving
     results["serving_max_fusion_width"] = max_width
     results["serving_max_draft_batch_width"] = max_draft
+    prefix, hit_tokens, ttft_cut = bench_serving_prefix(smoke)
+    results["serving_prefix_tokens_per_sec"] = prefix
+    results["serving_prefix_hit_tokens"] = hit_tokens
+    results["serving_prefix_ttft_cut"] = ttft_cut
     return results
 
 
@@ -328,6 +404,21 @@ def check_against(current: dict, path: str, smoke: bool, gate: bool = False) -> 
             print(f"::{sev}::bench-smoke: {key} regressed to {cur:.1f} "
                   f"from host-adjusted reference {adjusted:.1f} "
                   f"({cur / adjusted:.2f}x, tolerance {1 - tol:.2f}x)")
+    for key in TRACKED_COUNTS:
+        base, cur = ref.get(key), current.get(key)
+        if base is None or cur is None:
+            n_bad += 1
+            n_missing += 1
+            print(f"::error::bench-smoke: tracked count {key} missing from "
+                  f"{'the committed record' if base is None else 'current results'}"
+                  " — a renamed metric cannot dodge the regression gate")
+            continue
+        n_compared += 1
+        # Deterministic counts: no host scaling, no tolerance.
+        if cur < base:
+            n_bad += 1
+            print(f"::{sev}::bench-smoke: {key} dropped to {cur} from the "
+                  f"committed {base} — a behavior regression, not host noise")
     if gate:
         for key, floor in WIDTH_FLOORS.items():
             cur = current.get(key)

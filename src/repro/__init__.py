@@ -29,6 +29,7 @@ from repro.cluster import (
     gpu_testbed,
     make_testbed,
 )
+from repro.cache import PrefixCacheManager, RadixTree
 from repro.core import PipeInferEngine
 from repro.engines import (
     EngineConfig,
@@ -64,6 +65,8 @@ __all__ = [
     "gpu_testbed",
     "make_testbed",
     "PipeInferEngine",
+    "PrefixCacheManager",
+    "RadixTree",
     "EngineConfig",
     "FunctionalBackend",
     "GenerationJob",

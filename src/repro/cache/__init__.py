@@ -1,0 +1,6 @@
+"""Cross-request KV prefix caching (radix prompt sharing, paper IV-C plane)."""
+
+from repro.cache.prefix import PrefixCacheManager, PrefixMatch
+from repro.cache.radix import RadixNode, RadixTree
+
+__all__ = ["PrefixCacheManager", "PrefixMatch", "RadixNode", "RadixTree"]

@@ -1,0 +1,224 @@
+"""Token-level radix tree over retained KV prompt prefixes.
+
+Production prefix caches (vLLM/lmdeploy-class servers) index cached
+prompt KV by a radix tree over token ids: each node holds one contiguous
+token span, children branch where prompts diverge, and matching a new
+prompt is a single root-to-leaf walk.  Here every node additionally owns
+a *retained pool sequence id* — the KV-cache sequence (on every pipeline
+worker) whose cells hold the K/V entries for the node's positions.  The
+tree itself is pure head-side bookkeeping: it never talks to the
+workers.  :class:`~repro.cache.prefix.PrefixCacheManager` turns tree
+transitions into the pipelined ``seq_cp``/``seq_rm``/``seq_broadcast``
+cache-op transactions of the paper's Section IV-C plane.
+
+Structure invariants:
+
+- a node's span is ``[start, end)`` absolute prompt positions with
+  ``end - start == len(tokens)``; a child's ``start`` equals its
+  parent's ``end`` (spans tile the path);
+- sibling edges start with distinct tokens (radix property);
+- ``ref`` counts *active requests* currently pinning the node (they
+  matched through it at admission and have not completed); pinned nodes
+  are never evicted;
+- eviction removes leaves only — an interior node's cells are the
+  attention context of its descendants' positions, so it must outlive
+  them (the manager walks LRU leaves until pressure clears).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class RadixNode:
+    """One cached token span backed by a retained KV pool sequence."""
+
+    __slots__ = (
+        "tokens", "start", "seq", "children", "parent", "ref", "last_used",
+    )
+
+    def __init__(
+        self,
+        tokens: Tuple[int, ...],
+        start: int,
+        seq: int,
+        parent: Optional["RadixNode"],
+        last_used: float = 0.0,
+    ) -> None:
+        self.tokens = tuple(tokens)
+        self.start = start
+        self.seq = seq
+        self.parent = parent
+        self.children: Dict[int, "RadixNode"] = {}
+        self.ref = 0
+        self.last_used = last_used
+
+    @property
+    def end(self) -> int:
+        """One past the node's last absolute position."""
+        return self.start + len(self.tokens)
+
+    @property
+    def n_cells(self) -> int:
+        """KV cells the node's retained sequence holds (one per position)."""
+        return len(self.tokens)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RadixNode(seq={self.seq}, span=[{self.start},{self.end}), "
+            f"ref={self.ref}, children={len(self.children)})"
+        )
+
+
+class RadixTree:
+    """Radix tree over prompt token prefixes; nodes own retained sequences.
+
+    The root is a zero-span sentinel (no sequence).  All mutation
+    primitives are metadata-only and return enough information for the
+    manager to emit matching worker cache-ops; the tree never allocates
+    or frees pool sequences itself.
+    """
+
+    def __init__(self) -> None:
+        self.root = RadixNode((), 0, -1, None)
+
+    # -- walking ------------------------------------------------------------
+
+    def walk(self, prompt) -> Tuple[List[Tuple[RadixNode, int]], int]:
+        """Longest-prefix walk: ``([(node, tokens_used)], matched_len)``.
+
+        ``tokens_used`` is how many of the node's edge tokens the prompt
+        matched (the last entry may be partial — the prompt diverged
+        mid-edge or ran out).  The root never appears in the path.
+        """
+        path: List[Tuple[RadixNode, int]] = []
+        node = self.root
+        m = 0
+        n = len(prompt)
+        while m < n:
+            child = node.children.get(prompt[m])
+            if child is None:
+                break
+            k = 0
+            limit = min(len(child.tokens), n - m)
+            while k < limit and child.tokens[k] == prompt[m + k]:
+                k += 1
+            path.append((child, k))
+            m += k
+            if k < len(child.tokens):
+                break
+            node = child
+        return path, m
+
+    # -- mutation -----------------------------------------------------------
+
+    def split(self, node: RadixNode, k: int, child_seq: int) -> RadixNode:
+        """Split ``node`` after its first ``k`` edge tokens (copy-on-write).
+
+        The node keeps its identity (and sequence) for the span
+        ``[start, start+k)``; a new child under it takes the tail span
+        with ``child_seq`` as its retained sequence.  The caller emits
+        the worker-side ops that move the tail's cells from the node's
+        sequence to the child's (``seq_cp`` then ``seq_rm``) and fixes up
+        any active pins that extend past the split point.
+        """
+        if not 0 < k < len(node.tokens):
+            raise ValueError(f"split point {k} outside edge of {node!r}")
+        child = RadixNode(
+            node.tokens[k:], node.start + k, child_seq, node, node.last_used
+        )
+        child.children = node.children
+        for grandchild in child.children.values():
+            grandchild.parent = child
+        node.children = {child.tokens[0]: child}
+        node.tokens = node.tokens[:k]
+        return child
+
+    def insert_child(
+        self,
+        parent: RadixNode,
+        tokens,
+        start: int,
+        seq: int,
+        now: float,
+    ) -> RadixNode:
+        """Attach a new leaf span under ``parent``."""
+        tokens = tuple(tokens)
+        if not tokens:
+            raise ValueError("cannot insert an empty span")
+        if tokens[0] in parent.children:
+            raise ValueError(f"edge {tokens[0]} already present on {parent!r}")
+        node = RadixNode(tokens, start, seq, parent, now)
+        parent.children[tokens[0]] = node
+        return node
+
+    def remove_leaf(self, node: RadixNode) -> None:
+        """Detach an (unpinned) leaf from the tree."""
+        if node.children:
+            raise ValueError(f"{node!r} is not a leaf")
+        if node.ref:
+            raise ValueError(f"{node!r} is pinned by {node.ref} requests")
+        assert node.parent is not None, "the root is never removed"
+        del node.parent.children[node.tokens[0]]
+        node.parent = None
+
+    # -- queries ------------------------------------------------------------
+
+    def nodes(self) -> List[RadixNode]:
+        """Every node except the root (preorder)."""
+        out: List[RadixNode] = []
+        stack = list(self.root.children.values())
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            stack.extend(node.children.values())
+        return out
+
+    def leaves(self) -> List[RadixNode]:
+        return [n for n in self.nodes() if n.is_leaf]
+
+    def evictable_leaves(self) -> List[RadixNode]:
+        """Unpinned leaves, LRU-first (stable on equal timestamps)."""
+        free = [n for n in self.leaves() if n.ref == 0]
+        free.sort(key=lambda n: (n.last_used, n.start))
+        return free
+
+    def evictable_cells(self) -> int:
+        """Cells reclaimable by repeated leaf eviction.
+
+        A node's cells count as reclaimable when no node in its subtree
+        is pinned — evicting the subtree leaf-by-leaf eventually frees
+        the node itself.  Free subtrees hanging under a pinned ancestor
+        still count (their leaves can go; the ancestor stays).
+        """
+        total = 0
+        for child in self.root.children.values():
+            cells, free = self._walk_free(child)
+            total += cells if free else self._free_below(child)
+        return total
+
+    def _free_below(self, pinned: RadixNode) -> int:
+        """Reclaimable cells strictly below a non-free node."""
+        total = 0
+        for child in pinned.children.values():
+            cells, free = self._walk_free(child)
+            total += cells if free else self._free_below(child)
+        return total
+
+    def _walk_free(self, node: RadixNode) -> Tuple[int, bool]:
+        cells, free = node.n_cells, node.ref == 0
+        for child in node.children.values():
+            c, f = self._walk_free(child)
+            cells += c
+            free = free and f
+        return (cells, free) if free else (0, False)
+
+    def total_cells(self) -> int:
+        return sum(n.n_cells for n in self.nodes())
+
+    def __len__(self) -> int:
+        return len(self.nodes())

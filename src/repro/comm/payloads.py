@@ -135,14 +135,19 @@ class CacheOpKind(enum.IntEnum):
     SEQ_CP = 1
     #: Remove cells of ``seq`` in [p0, p1).
     SEQ_RM = 2
-    #: Copy cells of ``seq_src`` in [p0, p1) into *all* sequences
-    #: (acceptance propagation, Section IV-C2).
+    #: Copy cells of ``seq_src`` in [p0, p1) into every sequence listed in
+    #: ``targets`` (acceptance propagation IV-C2; prefix-cache fan-out).
     SEQ_BROADCAST = 3
 
 
 @dataclass
 class CacheOp:
-    """A pipelined cache operation command (Section IV-C3)."""
+    """A pipelined cache operation command (Section IV-C3).
+
+    ``targets`` is the explicit destination list of a ``SEQ_BROADCAST``
+    (one wire command materializes a shared cached prefix into several
+    requests' partitions at once); empty for the point ops.
+    """
 
     kind: CacheOpKind
     seq_src: int
@@ -150,6 +155,7 @@ class CacheOp:
     p0: int
     p1: int
     nbytes: float = 32.0
+    targets: tuple = ()
 
 
 @dataclass

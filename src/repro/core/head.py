@@ -155,22 +155,29 @@ def dispatch_canonical(engine, ctx: RequestContext) -> RunRecord:
     return rec
 
 
-def dispatch_prefill(engine, ctx: RequestContext) -> RunRecord:
+def dispatch_prefill(engine, ctx: RequestContext, start_pos: int = 0) -> RunRecord:
     """Send the prompt through the pipeline as a tracked run (serving mode).
 
     The single-job head awaits its prefill logits synchronously; the
     serving head cannot block, so the prefill enters the request FIFO like
     any other run and its logits are sampled on arrival
     (:func:`process_prefill_logits`).
+
+    ``start_pos`` skips a prompt prefix the prefix cache materialized by
+    pipelined ``seq_cp`` transactions (IV-C3): only the unmatched tail is
+    evaluated, attending over the copied cells exactly as the full
+    prefill would.  The cache caps matches below the prompt length, so
+    the tail — and the last-slot logits that sample the first output
+    token — is never empty.
     """
     rec = RunRecord(
         engine.new_run_id(),
         RunKind.PREFILL,
-        list(ctx.job.prompt),
-        0,
+        list(ctx.job.prompt[start_pos:]),
+        start_pos,
         ctx.kv.canonical,
     )
-    states = engine.backend.slot_states(ctx.chain, 0, len(rec.tokens))
+    states = engine.backend.slot_states(ctx.chain, start_pos, len(rec.tokens))
     send_record(engine, rec, states, want_all_logits=False)
     track_dispatch(engine, ctx, rec)
     return rec

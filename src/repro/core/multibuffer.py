@@ -202,13 +202,31 @@ class CellBudget:
         self.capacity = capacity
         #: Sum of admitted requests' worst-case demands.
         self.committed = 0
+        #: Cells held by the prefix cache's retained sequences (resident on
+        #: every shard but owned by no active request, so the committed
+        #: total cannot see them).  The serving head keeps this in sync
+        #: with :attr:`repro.cache.prefix.PrefixCacheManager.retained_cells`
+        #: and *evicts before admitting* when the sum would not fit —
+        #: retained prefixes are reclaimable capacity, never a hard claim.
+        self.retained = 0
         self._demands: Dict[int, int] = {}
 
     def fits(self, demand: int) -> bool:
-        """Would admitting a request of ``demand`` cells stay in capacity?"""
+        """Would admitting a request of ``demand`` cells stay in capacity?
+
+        Retained prefix-cache cells count as occupancy: they are real
+        resident cells the committed total does not cover.  The
+        lone-request escape hatch (admit an oversized request that would
+        run alone) additionally requires the cache to be empty — the
+        head drains it first, so an oversized request still runs exactly
+        like its single-job overflow case rather than colliding with
+        leftover cached cells.
+        """
         if self.capacity is None:
             return True
-        return self.committed + demand <= self.capacity or not self._demands
+        if self.committed + self.retained + demand <= self.capacity:
+            return True
+        return not self._demands and self.retained == 0
 
     def fits_live(self, live_used: int, demand: int) -> bool:
         """Live-signal admission check (``EngineConfig.admission_live_cells``).
@@ -229,7 +247,9 @@ class CellBudget:
         """
         if self.capacity is None:
             return True
-        return live_used + demand <= self.capacity or not self._demands
+        if live_used + demand <= self.capacity:
+            return True
+        return not self._demands and self.retained == 0
 
     def admit(self, req_id: int, demand: int) -> None:
         if req_id in self._demands:

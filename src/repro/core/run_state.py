@@ -241,6 +241,9 @@ class RequestContext:
             and canonical dispatch are gated on this in serving mode.
         done: the token budget is met; remaining in-flight runs drain
             without sampling.
+        cached_tokens: prompt tokens materialized from the cross-request
+            prefix cache at admission (0 = cache miss or cache off); the
+            request's prefill covered only the remaining tail.
     """
 
     req_id: int
@@ -258,6 +261,7 @@ class RequestContext:
     finished_at: Optional[float] = None
     prefilled: bool = False
     done: bool = False
+    cached_tokens: int = 0
 
     @property
     def n_prompt(self) -> int:

@@ -27,7 +27,7 @@ from repro.models.cost import CostModel
 from repro.models.kv_cache import KVCache
 from repro.models.oracle import OracleLM, OracleLogits, make_aligned_pair
 from repro.models.range_cache import RangeKVCache
-from repro.models.sampler import LogitsLike, softmax_probs
+from repro.models.sampler import LogitsLike, batched_top1, softmax_probs
 from repro.models.transformer import TinyTransformer
 from repro.models.zoo import ModelPair
 
@@ -136,10 +136,14 @@ def apply_cache_op(cache: Any, op: CacheOp) -> None:
     elif op.kind == CacheOpKind.SEQ_RM:
         cache.seq_rm(op.seq_src, op.p0, op.p1)
     elif op.kind == CacheOpKind.SEQ_BROADCAST:
-        targets = getattr(cache, "known_seqs", None)
-        # Broadcast targets every sequence id the shard has seen; the
-        # engines use explicit CP ops, broadcast exists for API parity.
-        raise NotImplementedError("engines issue explicit SEQ_CP operations")
+        # Explicit multi-target form: one wire command copies a shared
+        # cached prefix into several requests' partitions (the prefix
+        # cache's admission-sweep fast path).  Targetless broadcast
+        # ("every sequence the shard has seen") stays unsupported — the
+        # engines always name their destinations.
+        if not op.targets:
+            raise ValueError("SEQ_BROADCAST needs explicit target sequences")
+        cache.seq_broadcast(op.seq_src, op.p0, op.p1, op.targets)
     else:  # pragma: no cover - exhaustive enum
         raise ValueError(f"unknown cache op {op.kind}")
 
@@ -510,12 +514,10 @@ class FunctionalBackend(Backend):
         for chain in chains:
             slots.extend(plane.suffix_slots(chain))
         logits = plane.decode(slots)
-        out: List[Tuple[int, float]] = []
-        for row in logits:
-            probs = softmax_probs(row)
-            token = int(np.argmax(probs))
-            out.append((token, float(probs[token])))
-        return out
+        # One fused top-1+confidence kernel over the whole round instead
+        # of a full softmax row per chain (<= 1e-10 of the per-row path).
+        tokens, confs = batched_top1(logits)
+        return [(int(t), float(c)) for t, c in zip(tokens, confs)]
 
     def release_chain(self, chain: ChainState) -> None:
         if self._draft_plane is not None:

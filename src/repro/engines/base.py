@@ -84,6 +84,18 @@ class EngineConfig:
     #: into their worst case, at the cost of the hard no-overflow
     #: guarantee (see :meth:`repro.core.multibuffer.CellBudget.fits_live`).
     admission_live_cells: bool = False
+    #: Cross-request KV prefix caching (serving mode): completed requests
+    #: donate their verified prompt KV into a radix tree of retained pool
+    #: sequences; later requests materialize matching prefixes by
+    #: pipelined ``seq_cp``/``seq_broadcast`` transactions and prefill
+    #: only the unmatched tail (see :mod:`repro.cache.prefix`).
+    prefix_cache: bool = False
+    #: Retained-cell budget for the prefix cache; LRU leaf eviction keeps
+    #: the tree at or below it (and always yields to admission pressure).
+    prefix_cache_cells: int = 1024
+    #: Shortest prefix match (and donated span) worth a cache-op
+    #: transaction; shorter matches prefill from scratch.
+    min_match_tokens: int = 8
 
     def __post_init__(self) -> None:
         if self.microbatch_size < 1:
@@ -117,6 +129,14 @@ class EngineConfig:
         if self.max_draft_batch < 1:
             raise ValueError(
                 f"max_draft_batch must be positive, got {self.max_draft_batch}"
+            )
+        if self.prefix_cache_cells < 1:
+            raise ValueError(
+                f"prefix_cache_cells must be positive, got {self.prefix_cache_cells}"
+            )
+        if self.min_match_tokens < 1:
+            raise ValueError(
+                f"min_match_tokens must be positive, got {self.min_match_tokens}"
             )
 
     def ablated(self, **changes) -> "EngineConfig":

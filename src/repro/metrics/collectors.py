@@ -21,6 +21,9 @@ class RunStats:
     draft_tokens_checked: int = 0
     cancel_signals_sent: int = 0
     worker_layer_evals_skipped: int = 0
+    #: Prompt tokens served from the cross-request prefix cache instead
+    #: of being prefilled (aggregated over requests in serving reports).
+    cached_prompt_tokens: int = 0
     #: Fused stage windows that batched >1 run.  A fused window is
     #: recorded *once* with its run count (``fused_runs`` accumulates the
     #: widths) — never once per member run — and its busy time is charged

@@ -71,6 +71,11 @@ class RequestReport:
       prompt's prefill logits return), the serving-level definition that
       *includes* queue wait;
     - ``itl_samples`` — individual gaps between accepted tokens.
+
+    ``cached_tokens`` counts prompt tokens materialized from the
+    cross-request prefix cache (metadata copies) instead of prefilled;
+    ``prompt_tokens`` is the full prompt length, so
+    ``cached_tokens / prompt_tokens`` is the request's prefix hit rate.
     """
 
     req_id: int
@@ -81,6 +86,8 @@ class RequestReport:
     finish_time: float
     itl_samples: List[float]
     stats: RunStats
+    prompt_tokens: int = 0
+    cached_tokens: int = 0
 
     @property
     def n_tokens(self) -> int:
@@ -131,6 +138,19 @@ class ServingReport:
     fusion_width: Dict[int, int] = field(default_factory=dict)
     #: Draft-batch-width histogram (chains per head draft pass -> count).
     draft_batch_width: Dict[int, int] = field(default_factory=dict)
+    #: Prompt tokens served from the cross-request prefix cache.
+    prefix_hit_tokens: int = 0
+    #: ``prefix_hit_tokens`` over the stream's total prompt tokens.
+    prefix_hit_rate: float = 0.0
+    #: Mean TTFT over all requests, and split by prefix-cache outcome
+    #: (0.0 when the corresponding population is empty) — the cache's
+    #: TTFT effect read directly off one report.
+    ttft_mean: float = 0.0
+    ttft_mean_hit: float = 0.0
+    ttft_mean_miss: float = 0.0
+    #: Prefix-cache lifecycle counters (hits, donations, evictions,
+    #: retained cells) from the serving head's manager; empty when off.
+    prefix_cache_stats: Dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def from_requests(
@@ -156,6 +176,10 @@ class ServingReport:
         stats = RunStats.merged(
             [r.stats for r in reqs] + ([extra_stats] if extra_stats else [])
         )
+        hit_tokens = sum(r.cached_tokens for r in reqs)
+        prompt_tokens = sum(r.prompt_tokens for r in reqs)
+        hit = [r.ttft for r in reqs if r.cached_tokens > 0]
+        miss = [r.ttft for r in reqs if r.cached_tokens == 0]
         return cls(
             strategy=strategy,
             n_nodes=n_nodes,
@@ -173,6 +197,11 @@ class ServingReport:
             queue_wait_p99=p99(waits),
             utilization=utilization,
             stats=stats,
+            prefix_hit_tokens=hit_tokens,
+            prefix_hit_rate=hit_tokens / prompt_tokens if prompt_tokens else 0.0,
+            ttft_mean=mean(ttfts),
+            ttft_mean_hit=mean(hit) if hit else 0.0,
+            ttft_mean_miss=mean(miss) if miss else 0.0,
         )
 
     @property

@@ -12,7 +12,12 @@ Two head loops implement serving:
   partitioned across requests by a shared
   :class:`~repro.util.fifo.SequencePool` — each request owns a canonical
   partition for its lifetime and returns it (plus any speculative
-  partitions) on completion.
+  partitions) on completion.  With ``EngineConfig.prefix_cache`` on, the
+  pool additionally backs a cross-request prefix cache
+  (:mod:`repro.cache.prefix`): admissions materialize cached prompt
+  prefixes by pipelined ``seq_cp``/``seq_broadcast`` transactions and
+  prefill only the unmatched tail; completions donate their verified
+  prompt KV back instead of releasing it.
 
 - :func:`sequential_serving_head` — FCFS, one request at a time, for the
   synchronous baselines (iterative, speculative, single-node) whose head
@@ -43,6 +48,7 @@ from repro.core.head import (
     process_run_logits,
     spec_allowed_serving,
 )
+from repro.cache.prefix import PrefixCacheManager, PrefixMatch
 from repro.core.multibuffer import SEQ_END, CellBudget, acquire_canonical
 from repro.core.run_state import RequestContext, RunKind
 from repro.engines.backend import apply_cache_op
@@ -50,9 +56,9 @@ from repro.metrics.collectors import MetricsCollector
 from repro.metrics.report import RequestReport
 from repro.serve.scheduler import (
     RequestScheduler,
+    post_match_cell_demand,
     spec_dispatch_headroom,
     unmaterialized_demand,
-    worst_case_cell_demand,
 )
 from repro.util.fifo import SequencePool
 
@@ -70,6 +76,8 @@ def _report_for(ctx: RequestContext) -> RequestReport:
         finish_time=finish if finish is not None else ctx.arrival,
         itl_samples=m.itl_samples(),
         stats=m.stats,
+        prompt_tokens=ctx.n_prompt,
+        cached_tokens=ctx.cached_tokens,
     )
 
 
@@ -108,29 +116,101 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
     rotation: Deque[int] = deque()
     reports: List[RequestReport] = []
 
-    def admission_fits() -> bool:
-        demand = worst_case_cell_demand(scheduler.peek_next().job, cfg)
-        if not cfg.admission_live_cells:
-            return budget.fits(demand)
-        # Live-cell policy: admit against real occupancy (O(1) per shard)
-        # plus the in-flight demand of requests whose prefill has not yet
-        # materialized any cells — far more aggressive than committing
-        # every active request's static worst case.
-        pending = unmaterialized_demand(active.values(), cfg)
-        return budget.fits_live(engine.worker_cells_used() + pending, demand)
+    cache = (
+        PrefixCacheManager(pool, cfg.prefix_cache_cells, cfg.min_match_tokens)
+        if cfg.prefix_cache
+        else None
+    )
+
+    def ensure_pool_seq() -> bool:
+        """A canonical partition is available, evicting cached prefixes
+        if the pool ran dry — retained sequences yield to admission."""
+        if pool.available():
+            return True
+        if cache is None:
+            return False
+        ok, ops = cache.ops_for_pool_seq()
+        if ops:
+            engine.send_cache_ops(first_target, ops)
+        budget.retained = cache.retained_cells
+        return ok
+
+    def fits_with_reclaim(demand: int) -> bool:
+        """Admission cell check; LRU-evicts cached prefixes to make room.
+
+        Eviction ``seq_rm`` ops are pipelined *before* the admitted
+        request's materialization and prefill transactions, so by the
+        time its allocations execute on a worker the freed cells are
+        really free — reclaimable means reclaimable, on both policies.
+        Under the live policy the freed count is credited against the
+        (stale, in-flight) ``n_used`` reading for this sweep only.
+
+        Two guards keep the eviction honest: nothing is evicted when
+        even reclaiming *every* evictable cell could not close the gap
+        (the pressure comes from active requests, and wiping the tree
+        would only forfeit future hits for no room gained); and a
+        request that would run alone is admitted after the drain
+        regardless — the surfaced-overflow escape hatch an oversized
+        single job has always had — even when its own pinned match
+        keeps ``budget.retained`` above zero.
+        """
+        freed = 0
+
+        def ok(slack: int = 0) -> bool:
+            if not cfg.admission_live_cells:
+                if slack and budget.capacity is not None:
+                    return (
+                        budget.committed + budget.retained - slack + demand
+                        <= budget.capacity
+                    )
+                return budget.fits(demand)
+            pending = unmaterialized_demand(active.values(), cfg)
+            return budget.fits_live(
+                engine.worker_cells_used() + pending - freed - slack, demand
+            )
+
+        fit = ok()
+        if fit or cache is None:
+            return fit
+        if active and not ok(slack=cache.evictable_cells()):
+            return False
+        while not ok():
+            got, ops = cache.evict_lru_leaf()
+            if not got:
+                break
+            freed += got
+            budget.retained = cache.retained_cells
+            engine.send_cache_ops(first_target, ops)
+        return ok() or not active
 
     def admit_ready() -> None:
         # Bounded caches (functional mode) cannot evict mid-flight, so
         # admission waits for cell room.  The static budget check is O(1):
         # the committed total is maintained on admit/release rather than
         # re-summed over active requests or scanned from cache cells.
-        while (
-            scheduler.ready(kernel.now)
-            and pool.available()
-            and scheduler.may_admit(len(active))
-            and admission_fits()
-        ):
-            req = scheduler.pop_ready(kernel.now)
+        # With the prefix cache on, the cost model charges the *post-match*
+        # demand — matched positions are metadata copies, not new cells —
+        # and the whole sweep's materializations coalesce per cached node
+        # (one seq_broadcast per node shared by several admissions).
+        admitted: List = []
+        while scheduler.ready(kernel.now) and scheduler.may_admit(len(active)):
+            req = scheduler.peek_next()
+            match = cache.match(req.job.prompt) if cache else PrefixMatch()
+            if match:
+                # Pin the matched path before any eviction this admission
+                # itself triggers can touch it.
+                cache.acquire(req.req_id, match, kernel.now)
+            demand = post_match_cell_demand(req.job, cfg, match.length)
+            # Cell demand first, canonical-partition second: the pool
+            # check may evict a cached sequence, which must not happen
+            # for an admission the cell check is about to reject anyway.
+            if not (fits_with_reclaim(demand) and ensure_pool_seq()):
+                if match:
+                    cache.release(req.req_id)
+                break
+            scheduler.pop_ready(kernel.now)
+            if cache is not None:
+                cache.note_admitted(match)
             ctx = new_request_context(
                 engine,
                 req.job,
@@ -140,10 +220,22 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
                 arrival=req.arrival,
             )
             ctx.admitted_at = kernel.now
-            budget.admit(req.req_id, worst_case_cell_demand(req.job, cfg))
+            ctx.cached_tokens = match.length
+            ctx.metrics.stats.cached_prompt_tokens += match.length
+            budget.admit(req.req_id, demand)
             active[ctx.req_id] = ctx
             rotation.append(ctx.req_id)
-            dispatch_prefill(engine, ctx)
+            admitted.append((ctx, match))
+        if not admitted:
+            return
+        if cache is not None:
+            ops = cache.ops_for_materialize(
+                [(m, ctx.kv.canonical) for ctx, m in admitted if m]
+            )
+            if ops:
+                engine.send_cache_ops(first_target, ops)
+        for ctx, match in admitted:
+            dispatch_prefill(engine, ctx, start_pos=match.length)
             order.append(ctx.req_id)
 
     def mark_done(ctx: RequestContext) -> None:
@@ -154,8 +246,23 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
             cancel_run(engine, ctx, rec, invalid=False)
 
     def finalize(ctx: RequestContext) -> None:
-        """All in-flight runs drained: release the request's partitions."""
-        engine.send_cache_ops(first_target, ctx.kv.ops_for_request_release())
+        """All in-flight runs drained: release the request's partitions.
+
+        With the prefix cache on, the request first *donates* its
+        verified prompt KV: the uncached prompt suffix is copied into a
+        retained tree sequence, ordered before the canonical partition's
+        release in the same transaction batch, so the cells outlive the
+        request and the next matching prompt skips their prefill.
+        """
+        ops = []
+        if cache is not None:
+            ops += cache.ops_for_donate(
+                ctx.job.prompt, ctx.kv.canonical, kernel.now
+            )
+            cache.release(ctx.req_id)
+            budget.retained = cache.retained_cells
+        ops += ctx.kv.ops_for_request_release()
+        engine.send_cache_ops(first_target, ops)
         ctx.kv.release_canonical()
         engine.backend.release_chain(ctx.chain)
         ctx.finished_at = kernel.now
@@ -262,6 +369,7 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
                 yield Delay(cfg.idle_poll)
 
     engine.request_reports = reports
+    engine.prefix_cache_stats = cache.stats_dict() if cache is not None else {}
     engine.metrics.mark_finish(kernel.now)
     engine.shutdown_pipeline()
 
@@ -308,6 +416,7 @@ def sequential_serving_head(engine, scheduler: RequestScheduler) -> Generator:
                 finish_time=finish,
                 itl_samples=per.itl_samples(),
                 stats=per.stats,
+                prompt_tokens=len(req.job.prompt),
             )
         )
         scheduler.on_completed(req.req_id, finish)

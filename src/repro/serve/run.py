@@ -49,6 +49,9 @@ def run_serving(
     report.utilization = metrics.utilization(total_time=report.makespan)
     report.fusion_width = metrics.fusion_width_hist()
     report.draft_batch_width = dict(metrics.draft_batch_width)
+    # Prefix-cache lifecycle counters (empty dict when the cache is off
+    # or the head is a baseline without one).
+    report.prefix_cache_stats = dict(getattr(engine, "prefix_cache_stats", {}))
     return report
 
 

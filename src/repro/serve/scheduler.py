@@ -47,6 +47,19 @@ def worst_case_cell_demand(job: GenerationJob, config) -> int:
     )
 
 
+def post_match_cell_demand(job: GenerationJob, config, cached_tokens: int) -> int:
+    """Worst-case *new* cells after a prefix-cache match of ``cached_tokens``.
+
+    Materializing a cached prefix is a metadata copy — the matched
+    positions' cells already exist under the cache's retained sequences
+    and are merely shared into the request's canonical partition — so
+    admission must charge only the unmatched tail plus generation and
+    speculation headroom.  With the cache off (``cached_tokens == 0``)
+    this is exactly :func:`worst_case_cell_demand`.
+    """
+    return worst_case_cell_demand(job, config) - cached_tokens
+
+
 def unmaterialized_demand(active_contexts, config) -> int:
     """Worst-case cells of admitted-but-not-yet-prefilled requests.
 
@@ -56,9 +69,11 @@ def unmaterialized_demand(active_contexts, config) -> int:
     same stale occupancy.  Counting un-prefilled requests at their full
     worst case closes that hole; once prefill logits return, the prompt's
     cells are resident on every shard and the live signal takes over.
+    Prefix-cache matches are subtracted: matched positions never
+    materialize new cells, only sequence metadata.
     """
     return sum(
-        worst_case_cell_demand(ctx.job, config)
+        post_match_cell_demand(ctx.job, config, ctx.cached_tokens)
         for ctx in active_contexts
         if not ctx.prefilled
     )

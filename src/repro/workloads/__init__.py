@@ -3,15 +3,25 @@
 from repro.workloads.arrivals import (
     bursty_arrivals,
     closed_loop_arrivals,
+    multiturn_arrivals,
     poisson_arrivals,
 )
-from repro.workloads.prompts import PROMPT_CLASSES, PromptClass, make_prompt
+from repro.workloads.prompts import (
+    PROMPT_CLASSES,
+    MultiTurnTemplate,
+    PromptClass,
+    SharedPrefixTemplate,
+    make_prompt,
+)
 
 __all__ = [
     "PROMPT_CLASSES",
     "PromptClass",
+    "SharedPrefixTemplate",
+    "MultiTurnTemplate",
     "make_prompt",
     "poisson_arrivals",
     "bursty_arrivals",
     "closed_loop_arrivals",
+    "multiturn_arrivals",
 ]

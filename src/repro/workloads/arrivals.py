@@ -94,3 +94,38 @@ def closed_loop_arrivals(n: int) -> Tuple[float, ...]:
     if n < 0:
         raise ValueError(f"n must be non-negative, got {n}")
     return (0.0,) * n
+
+
+def multiturn_arrivals(
+    n_sessions: int,
+    n_turns: int,
+    turn_gap: float,
+    session_rate: float = 1.0,
+    seed: int = 0,
+) -> Tuple[float, ...]:
+    """Multi-turn chat arrivals, session-major, for shared-prefix serving.
+
+    Session starts follow a Poisson process at ``session_rate``; within a
+    session, turn ``t`` arrives ``t * turn_gap`` after the session start —
+    the user's think-plus-generation time between turns.  The returned
+    trace is *session-major* (session 0's turns, then session 1's, ...)
+    to align index-for-index with
+    :meth:`repro.workloads.prompts.MultiTurnTemplate.prompts`; the
+    scheduler re-sorts by arrival time for FCFS admission, interleaving
+    sessions naturally.
+
+    Args:
+        n_sessions: number of chat sessions.
+        n_turns: turns per session.
+        turn_gap: seconds between a session's consecutive turns.
+        session_rate: mean session starts per second.
+        seed: trace seed.
+    """
+    if n_turns < 1:
+        raise ValueError(f"n_turns must be positive, got {n_turns}")
+    if turn_gap < 0:
+        raise ValueError(f"turn_gap must be non-negative, got {turn_gap}")
+    starts = poisson_arrivals(session_rate, n_sessions, seed=seed)
+    return tuple(
+        start + t * turn_gap for start in starts for t in range(n_turns)
+    )

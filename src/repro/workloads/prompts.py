@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from repro.util.rng import hash_tokens
+from repro.util.rng import hash_tokens, unit_float
 
 
 @dataclass(frozen=True)
@@ -61,3 +61,123 @@ def make_prompt(kind: str = "wikitext", length: int = 128, vocab: int = 32000) -
         h = hash_tokens(cls.seed, (i, h & 0xFFFF), salt=7)
         tokens.append(16 + h % (vocab - 16))
     return tuple(tokens)
+
+
+def _span(seed: int, tag: int, length: int, vocab: int) -> Tuple[int, ...]:
+    """A deterministic token span keyed by (seed, tag); ids avoid the
+    reserved low range like :func:`make_prompt`."""
+    tokens = []
+    h = seed
+    for i in range(length):
+        h = hash_tokens(seed, (tag, i, h & 0xFFFF), salt=23)
+        tokens.append(16 + h % (vocab - 16))
+    return tuple(tokens)
+
+
+#: Domain separator for template share/group draws.
+_TEMPLATE_SALT = 29
+
+
+@dataclass(frozen=True)
+class SharedPrefixTemplate:
+    """Shared-system-prompt traffic: templated agent calls, RAG headers.
+
+    Each request's prompt is ``group prefix + unique suffix``.  A
+    ``share_fraction`` of requests (hash-selected, deterministic) draw
+    their prefix from one of ``n_groups`` shared system prompts — the
+    radix prefix cache's bread-and-butter hit pattern — while the rest
+    get fully unique prompts (guaranteed misses, so hit/miss TTFT splits
+    have both populations).
+
+    Attributes:
+        shared_len: tokens in each group's shared prefix.
+        unique_len: per-request unique suffix length.
+        n_groups: distinct shared system prompts (round-robin over the
+            sharing requests).
+        share_fraction: fraction of requests using a shared prefix.
+        seed: content seed; same seed, same prompts, any platform.
+    """
+
+    shared_len: int = 96
+    unique_len: int = 32
+    n_groups: int = 1
+    share_fraction: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shared_len < 1 or self.unique_len < 1:
+            raise ValueError("shared_len and unique_len must be positive")
+        if self.n_groups < 1:
+            raise ValueError(f"n_groups must be positive, got {self.n_groups}")
+        if not 0.0 <= self.share_fraction <= 1.0:
+            raise ValueError(
+                f"share_fraction must be in [0, 1], got {self.share_fraction}"
+            )
+
+    def is_shared(self, index: int) -> bool:
+        """Whether request ``index`` draws a shared prefix (deterministic)."""
+        u = unit_float(hash_tokens(self.seed, (index,), salt=_TEMPLATE_SALT))
+        return u < self.share_fraction
+
+    def prompts(self, n: int, vocab: int) -> Tuple[Tuple[int, ...], ...]:
+        """``n`` prompts in request order."""
+        groups = [
+            _span(self.seed, 1000 + g, self.shared_len, vocab)
+            for g in range(self.n_groups)
+        ]
+        out = []
+        n_sharing = 0
+        for i in range(n):
+            if self.is_shared(i):
+                # Round-robin over the sharing requests, not the global
+                # index — every configured group gets traffic even when
+                # is_shared() lands on a skewed index pattern.
+                prefix = groups[n_sharing % self.n_groups]
+                n_sharing += 1
+            else:
+                # Unique-prefix request: a miss by construction.
+                prefix = _span(self.seed, 2000 + i, self.shared_len, vocab)
+            out.append(prefix + _span(self.seed, 3000 + i, self.unique_len, vocab))
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class MultiTurnTemplate:
+    """Multi-turn chat sessions: every turn's prompt extends the last.
+
+    Session-major ordering (session 0 turns 0..T-1, then session 1, ...)
+    matching :func:`repro.workloads.arrivals.multiturn_arrivals`.  Turn
+    ``t`` of a session prompts with ``system + context[: (t+1) * turn_len]``
+    where ``context`` is the session's deterministic conversation stand-in
+    — so turn ``t``'s prompt is a strict extension of turn ``t-1``'s, the
+    donate-then-rematch pattern that grows one radix path per session.
+
+    Attributes:
+        system_len: shared system prompt length (shared across sessions).
+        turn_len: tokens added per turn.
+        n_turns: turns per session.
+        seed: content seed.
+    """
+
+    system_len: int = 48
+    turn_len: int = 24
+    n_turns: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.system_len < 1 or self.turn_len < 1:
+            raise ValueError("system_len and turn_len must be positive")
+        if self.n_turns < 1:
+            raise ValueError(f"n_turns must be positive, got {self.n_turns}")
+
+    def prompts(self, n_sessions: int, vocab: int) -> Tuple[Tuple[int, ...], ...]:
+        """``n_sessions * n_turns`` prompts, session-major."""
+        system = _span(self.seed, 0, self.system_len, vocab)
+        out = []
+        for s in range(n_sessions):
+            context = _span(
+                self.seed, 4000 + s, self.n_turns * self.turn_len, vocab
+            )
+            for t in range(self.n_turns):
+                out.append(system + context[: (t + 1) * self.turn_len])
+        return tuple(out)

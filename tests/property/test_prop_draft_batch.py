@@ -184,6 +184,34 @@ class TestBatchedEqualsSequential:
             next_tok += 1
         assert plane_snapshot(be_batch) == plane_snapshot(be_seq)
 
+    def test_batched_top1_kernel_matches_per_row_softmax(self):
+        """The fused top-1+confidence kernel == a full softmax per row.
+
+        ``propose_multi`` replaced its per-chain ``softmax_probs`` loop
+        with one :func:`repro.models.sampler.batched_top1` pass over the
+        round's logits; tokens must be identical and confidences within
+        1e-10 of the per-row reference for arbitrary logit matrices.
+        """
+        from repro.models.sampler import batched_top1, softmax_probs
+
+        rng = np.random.default_rng(3)
+        for shape in [(1, 7), (5, 128), (16, 33), (8, 1)]:
+            logits = rng.normal(scale=6.0, size=shape)
+            # Mix in extreme rows: near-ties and large dynamic range.
+            logits[0] = np.round(logits[0], 1)
+            tokens, confs = batched_top1(logits)
+            for row, tok, conf in zip(logits, tokens, confs):
+                probs = softmax_probs(row)
+                assert int(tok) == int(np.argmax(probs))
+                assert abs(float(conf) - float(probs[int(tok)])) <= CONF_ATOL
+
+    def test_propose_single_routes_through_batched_kernel(self):
+        """propose() and propose_multi([chain]) are the same code path —
+        identical results bit for bit."""
+        be_a, be_b = make_backend(), make_backend()
+        ca, cb = be_a.new_chain([4, 2, 9]), be_b.new_chain([4, 2, 9])
+        assert be_a.propose(ca) == be_b.propose_multi([cb])[0]
+
     def test_plane_grows_past_initial_capacity(self):
         """Long chains force the shared cache to grow in place; proposals
         stay identical to a sequential backend with an ample plane."""

@@ -76,3 +76,33 @@ class TestClosedLoop:
     def test_errors(self):
         with pytest.raises(ValueError):
             closed_loop_arrivals(-2)
+
+
+class TestMultiTurn:
+    def test_session_major_order_and_gaps(self):
+        from repro.workloads import multiturn_arrivals
+
+        t = multiturn_arrivals(3, n_turns=4, turn_gap=2.0, session_rate=1.0,
+                               seed=5)
+        assert len(t) == 12
+        for s in range(3):
+            turns = t[s * 4:(s + 1) * 4]
+            gaps = [b - a for a, b in zip(turns, turns[1:])]
+            assert all(abs(g - 2.0) < 1e-12 for g in gaps)
+
+    def test_deterministic(self):
+        from repro.workloads import multiturn_arrivals
+
+        assert multiturn_arrivals(2, 3, 1.5, seed=9) == multiturn_arrivals(
+            2, 3, 1.5, seed=9
+        )
+
+    def test_errors(self):
+        from repro.workloads import multiturn_arrivals
+
+        with pytest.raises(ValueError):
+            multiturn_arrivals(2, n_turns=0, turn_gap=1.0)
+        with pytest.raises(ValueError):
+            multiturn_arrivals(2, n_turns=2, turn_gap=-1.0)
+        with pytest.raises(ValueError):
+            multiturn_arrivals(2, n_turns=2, turn_gap=1.0, session_rate=0.0)

@@ -65,3 +65,18 @@ def test_draft_batch_and_burst_defaults():
     assert cfg.max_draft_batch == 8
     assert cfg.burst_dispatch is True
     assert cfg.ablated(max_draft_batch=1, burst_dispatch=False).max_draft_batch == 1
+
+
+@pytest.mark.parametrize("field", ["prefix_cache_cells", "min_match_tokens"])
+@pytest.mark.parametrize("value", [0, -3])
+def test_rejects_nonpositive_prefix_cache_knobs(field, value):
+    with pytest.raises(ValueError, match=field):
+        EngineConfig(**{field: value})
+
+
+def test_prefix_cache_defaults():
+    cfg = EngineConfig()
+    assert cfg.prefix_cache is False
+    assert cfg.prefix_cache_cells == 1024
+    assert cfg.min_match_tokens == 8
+    assert cfg.ablated(prefix_cache=True).prefix_cache is True

@@ -63,9 +63,10 @@ class TestLiveCellBudget:
 class TestUnmaterializedDemand:
     def test_counts_only_unprefilled(self, functional_config):
         class Ctx:
-            def __init__(self, job, prefilled):
+            def __init__(self, job, prefilled, cached_tokens=0):
                 self.job = job
                 self.prefilled = prefilled
+                self.cached_tokens = cached_tokens
 
         class Job:
             prompt = tuple(range(10))
@@ -75,6 +76,10 @@ class TestUnmaterializedDemand:
         ctxs = [Ctx(Job(), False), Ctx(Job(), True), Ctx(Job(), False)]
         assert unmaterialized_demand(ctxs, functional_config) == 2 * demand
         assert unmaterialized_demand([], functional_config) == 0
+        # Prefix-cache matches never materialize new cells: the matched
+        # positions are subtracted from an unprefilled request's demand.
+        cached = [Ctx(Job(), False, cached_tokens=4)]
+        assert unmaterialized_demand(cached, functional_config) == demand - 4
 
 
 class TestRopeTables:

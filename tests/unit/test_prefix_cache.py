@@ -1,0 +1,358 @@
+"""Unit tests for the prefix-cache manager's op emission and lifecycle.
+
+The manager is pure head-side bookkeeping that *emits* cache ops; these
+tests drive the emitted ops into a real metadata :class:`KVCache` (the
+worker-shard view) and assert the retained/materialized sequence state
+matches — donation keeps cells alive past canonical release, matches
+copy exactly the cached positions, eviction frees them.
+"""
+
+import pytest
+
+from repro.cache.prefix import PrefixCacheManager
+from repro.comm.payloads import CacheOp, CacheOpKind
+from repro.engines.backend import apply_cache_op
+from repro.models.kv_cache import KVCache
+from repro.util.fifo import SequencePool
+
+SEQ_END = 1 << 40
+
+
+def apply_all(cache, ops):
+    for op in ops:
+        apply_cache_op(cache, op)
+
+
+def make():
+    pool = SequencePool(16)
+    mgr = PrefixCacheManager(pool, max_cells=64, min_match_tokens=4)
+    cache = KVCache(256)
+    return pool, mgr, cache
+
+
+def prefill(cache, seq, tokens, start=0):
+    """Simulate a request's prompt cells landing on a worker shard."""
+    cache.allocate([(start + i, {seq}) for i in range(len(tokens))])
+
+
+def donate(mgr, cache, prompt, canonical, now):
+    """Donate and release the canonical partition, as finalize() does."""
+    ops = mgr.ops_for_donate(prompt, canonical, now)
+    ops.append(CacheOp(CacheOpKind.SEQ_RM, canonical, canonical, 0, SEQ_END))
+    apply_all(cache, ops)
+    return ops
+
+
+class TestDonateMatch:
+    def test_donation_retains_cells_past_canonical_release(self):
+        pool, mgr, cache = make()
+        canonical = pool.allocate()
+        prompt = tuple(range(10, 22))
+        prefill(cache, canonical, prompt)
+        assert cache.n_used == 12
+        donate(mgr, cache, prompt, canonical, now=1.0)
+        pool.release(canonical)
+        # Cells survive under the retained sequence.
+        assert cache.n_used == 12
+        assert mgr.retained_cells == 12
+        node = mgr.tree.leaves()[0]
+        assert cache.seq_positions(node.seq) == list(range(12))
+
+    def test_match_respects_min_and_last_token_cap(self):
+        pool, mgr, cache = make()
+        canonical = pool.allocate()
+        prompt = tuple(range(10, 22))
+        prefill(cache, canonical, prompt)
+        donate(mgr, cache, prompt, canonical, now=1.0)
+        # Identical prompt: full match capped at len - 1.
+        assert mgr.match(prompt).length == len(prompt) - 1
+        # Short shared prefix below the floor: no match.
+        assert mgr.match(prompt[:3] + (99,)).length == 0
+        # Unknown prompt: no match.
+        assert mgr.match((1, 2, 3, 4, 5, 6)).length == 0
+
+    def test_materialize_copies_matched_positions(self):
+        pool, mgr, cache = make()
+        canonical = pool.allocate()
+        prompt = tuple(range(10, 22))
+        prefill(cache, canonical, prompt)
+        donate(mgr, cache, prompt, canonical, now=1.0)
+        pool.release(canonical)
+
+        new_canonical = pool.allocate()
+        match = mgr.match(prompt[:8] + (99, 98, 97, 96))
+        assert match.length == 8
+        ops = mgr.ops_for_materialize([(match, new_canonical)])
+        assert [op.kind for op in ops] == [CacheOpKind.SEQ_CP]
+        apply_all(cache, ops)
+        assert cache.seq_positions(new_canonical) == list(range(8))
+        # Metadata copy only: no new cells.
+        assert cache.n_used == 12
+
+    def test_same_sweep_matches_coalesce_into_broadcast(self):
+        pool, mgr, cache = make()
+        canonical = pool.allocate()
+        prompt = tuple(range(10, 22))
+        prefill(cache, canonical, prompt)
+        donate(mgr, cache, prompt, canonical, now=1.0)
+        pool.release(canonical)
+
+        a, b = pool.allocate(), pool.allocate()
+        m1 = mgr.match(prompt[:8] + (99,) * 4)
+        m2 = mgr.match(prompt[:8] + (77,) * 4)
+        ops = mgr.ops_for_materialize([(m1, a), (m2, b)])
+        assert [op.kind for op in ops] == [CacheOpKind.SEQ_BROADCAST]
+        assert set(ops[0].targets) == {a, b}
+        apply_all(cache, ops)
+        assert cache.seq_positions(a) == list(range(8))
+        assert cache.seq_positions(b) == list(range(8))
+
+    def test_donation_extends_matched_path(self):
+        """Donate-then-rematch round trip: a longer prompt's donation adds
+        only the new suffix as a child node."""
+        pool, mgr, cache = make()
+        c1 = pool.allocate()
+        p1 = tuple(range(10, 20))
+        prefill(cache, c1, p1)
+        donate(mgr, cache, p1, c1, now=1.0)
+        pool.release(c1)
+
+        p2 = p1 + tuple(range(40, 46))
+        c2 = pool.allocate()
+        match = mgr.match(p2)
+        assert match.length == 10
+        apply_all(cache, mgr.ops_for_materialize([(match, c2)]))
+        prefill(cache, c2, p2[10:], start=10)
+        donate(mgr, cache, p2, c2, now=2.0)
+        pool.release(c2)
+        assert mgr.retained_cells == 16
+        assert len(mgr.tree) == 2
+        # The extension now matches end-to-end (capped at len - 1).
+        assert mgr.match(p2).length == len(p2) - 1
+
+    def test_mid_edge_donation_splits_copy_on_write(self):
+        pool, mgr, cache = make()
+        c1 = pool.allocate()
+        p1 = tuple(range(10, 22))
+        prefill(cache, c1, p1)
+        donate(mgr, cache, p1, c1, now=1.0)
+        pool.release(c1)
+
+        # Diverges after 6 shared tokens.
+        p2 = p1[:6] + tuple(range(50, 56))
+        c2 = pool.allocate()
+        prefill(cache, c2, p2)  # cache off-path prefill of everything
+        ops = donate(mgr, cache, p2, c2, now=2.0)
+        pool.release(c2)
+        assert mgr.stats["splits"] == 1
+        assert len(mgr.tree) == 3  # shared head + two divergent tails
+        # Walks cover both prompts fully; every node's worker-side
+        # sequence holds exactly its span.
+        for node in mgr.tree.nodes():
+            assert cache.seq_positions(node.seq) == list(
+                range(node.start, node.end)
+            )
+        assert mgr.match(p1).length == len(p1) - 1
+        assert mgr.match(p2).length == len(p2) - 1
+        assert any(op.kind == CacheOpKind.SEQ_RM for op in ops)
+
+    def test_small_tail_not_donated(self):
+        pool, mgr, cache = make()
+        c1 = pool.allocate()
+        p1 = tuple(range(10, 22))
+        prefill(cache, c1, p1)
+        donate(mgr, cache, p1, c1, now=1.0)
+        pool.release(c1)
+        c2 = pool.allocate()
+        p2 = p1 + (60, 61)  # 2-token tail < min_match_tokens
+        prefill(cache, c2, p2[11:], start=11)
+        donate(mgr, cache, p2, c2, now=2.0)
+        assert len(mgr.tree) == 1
+        assert mgr.stats["donated_nodes"] == 1
+
+
+class TestEviction:
+    def test_cell_budget_evicts_lru(self):
+        pool = SequencePool(16)
+        mgr = PrefixCacheManager(pool, max_cells=20, min_match_tokens=4)
+        cache = KVCache(256)
+        prompts = [tuple(range(100 * k, 100 * k + 12)) for k in range(3)]
+        for t, p in enumerate(prompts):
+            c = pool.allocate()
+            prefill(cache, c, p)
+            donate(mgr, cache, p, c, now=float(t))
+            pool.release(c)
+        # 12 + 12 fits the 20-cell budget only after evicting the oldest.
+        assert mgr.retained_cells <= 20
+        assert mgr.stats["evictions"] >= 1
+        assert mgr.match(prompts[0]).length == 0      # evicted
+        assert mgr.match(prompts[2]).length == 11     # newest survives
+
+    def test_pinned_nodes_survive_pressure(self):
+        pool = SequencePool(16)
+        mgr = PrefixCacheManager(pool, max_cells=12, min_match_tokens=4)
+        cache = KVCache(256)
+        c = pool.allocate()
+        p1 = tuple(range(10, 22))
+        prefill(cache, c, p1)
+        donate(mgr, cache, p1, c, now=1.0)
+        pool.release(c)
+
+        match = mgr.match(p1)
+        mgr.acquire(req_id=7, match=match, now=2.0)
+        # Budget full and everything pinned: a new donation is skipped.
+        c2 = pool.allocate()
+        p2 = tuple(range(50, 62))
+        prefill(cache, c2, p2)
+        ops = mgr.ops_for_donate(p2, c2, now=3.0)
+        assert ops == []
+        assert mgr.match(p1).length == len(p1) - 1
+        # Released pins make the node evictable again.
+        mgr.release(7)
+        freed, ops = mgr.evict_lru_leaf()
+        assert freed == 12
+        apply_all(cache, ops)
+
+    def test_pool_pressure_evicts_for_sequence(self):
+        pool = SequencePool(2)
+        mgr = PrefixCacheManager(pool, max_cells=64, min_match_tokens=4)
+        cache = KVCache(256)
+        c = pool.allocate()
+        p = tuple(range(10, 20))
+        prefill(cache, c, p)
+        donate(mgr, cache, p, c, now=1.0)
+        pool.release(c)
+        # Tree holds 1 of 2 sequences; take the other, then ask for room.
+        pool.allocate()
+        assert not pool.available()
+        ok, ops = mgr.ops_for_pool_seq()
+        assert ok and pool.available()
+        assert len(mgr.tree) == 0
+        apply_all(cache, ops)
+        assert cache.n_used == 0
+
+    def test_evict_returns_sequence_to_pool(self):
+        pool, mgr, cache = make()
+        c = pool.allocate()
+        p = tuple(range(10, 20))
+        prefill(cache, c, p)
+        donate(mgr, cache, p, c, now=1.0)
+        pool.release(c)
+        free_before = pool.n_free
+        freed, ops = mgr.evict_lru_leaf()
+        apply_all(cache, ops)
+        assert freed == 10
+        assert pool.n_free == free_before + 1
+        assert cache.n_used == 0
+        assert mgr.retained_cells == 0
+
+
+class TestPins:
+    def test_acquire_release_balance_refs(self):
+        pool, mgr, cache = make()
+        c = pool.allocate()
+        p = tuple(range(10, 22))
+        prefill(cache, c, p)
+        donate(mgr, cache, p, c, now=1.0)
+        pool.release(c)
+        match = mgr.match(p)
+        mgr.acquire(3, match, now=2.0)
+        assert all(n.ref == 1 for n, _, _ in match.entries)
+        mgr.release(3)
+        assert all(n.ref == 0 for n, _, _ in match.entries)
+        mgr.release(3)  # idempotent
+
+    def test_split_repins_spanning_matches(self):
+        pool, mgr, cache = make()
+        c1 = pool.allocate()
+        p1 = tuple(range(10, 22))
+        prefill(cache, c1, p1)
+        donate(mgr, cache, p1, c1, now=1.0)
+        pool.release(c1)
+
+        # An active request pinning 10 tokens of the 12-token node.
+        match = mgr.match(p1[:10] + (90,) * 4)
+        assert match.length == 10
+        mgr.acquire(5, match, now=2.0)
+
+        # A mid-edge donation splits the node at 6 < 10: the pin now
+        # spans parent and child, and release balances both.
+        p2 = p1[:6] + tuple(range(50, 56))
+        c2 = pool.allocate()
+        prefill(cache, c2, p2)
+        donate(mgr, cache, p2, c2, now=3.0)
+        pool.release(c2)
+        pinned = [n for n in mgr.tree.nodes() if n.ref > 0]
+        assert len(pinned) == 2
+        assert {(n.start, n.end) for n in pinned} == {(0, 6), (6, 12)}
+        mgr.release(5)
+        assert all(n.ref == 0 for n in mgr.tree.nodes())
+
+    def test_note_admitted_counts(self):
+        pool, mgr, _ = make()
+        from repro.cache.prefix import PrefixMatch
+
+        mgr.note_admitted(PrefixMatch())
+        mgr.note_admitted(PrefixMatch([], 0))
+        assert mgr.stats["requests_missed"] == 2
+        assert mgr.stats["requests_hit"] == 0
+
+
+class TestApplyBroadcast:
+    def test_targetless_broadcast_rejected(self):
+        cache = KVCache(8)
+        with pytest.raises(ValueError):
+            apply_cache_op(
+                cache, CacheOp(CacheOpKind.SEQ_BROADCAST, 0, 1, 0, 4)
+            )
+
+
+class TestDonationEvictionInterplay:
+    def test_donation_never_evicts_its_own_path(self):
+        """Regression: a tight cell budget must not let the donation's
+        eviction reclaim the very node the new span attaches under —
+        the insert would land in a detached subtree, leaking its pool
+        sequence and inflating retained_cells forever."""
+        pool = SequencePool(16)
+        mgr = PrefixCacheManager(pool, max_cells=12, min_match_tokens=4)
+        cache = KVCache(256)
+        c1 = pool.allocate()
+        p1 = tuple(range(10, 20))  # 10 cells: fills most of the budget
+        prefill(cache, c1, p1)
+        donate(mgr, cache, p1, c1, now=1.0)
+        pool.release(c1)
+
+        # Turn 2 extends turn 1 by 6 tokens; 10 + 6 > 12 forces the
+        # budget loop, whose only candidate is the path node itself.
+        p2 = p1 + tuple(range(40, 46))
+        c2 = pool.allocate()
+        apply_all(cache, mgr.ops_for_materialize([(mgr.match(p2), c2)]))
+        prefill(cache, c2, p2[9:], start=9)
+        donate(mgr, cache, p2, c2, now=2.0)
+        pool.release(c2)
+        # Donation was skipped rather than corrupting the tree: the
+        # original node is intact, reachable, and accounting balances.
+        assert len(mgr.tree) == 1
+        assert mgr.retained_cells == mgr.tree.total_cells() == 10
+        assert mgr.match(p1).length == 9
+        held = {n.seq for n in mgr.tree.nodes()}
+        assert pool.n_allocated == len(held)
+
+    def test_donation_pool_pressure_protects_path(self):
+        """Same regression through the pool-exhaustion branch."""
+        pool = SequencePool(2)
+        mgr = PrefixCacheManager(pool, max_cells=64, min_match_tokens=4)
+        cache = KVCache(256)
+        c1 = pool.allocate()
+        p1 = tuple(range(10, 20))
+        prefill(cache, c1, p1)
+        donate(mgr, cache, p1, c1, now=1.0)
+        pool.release(c1)
+        # Both pool sequences in play: one retained, one canonical.
+        c2 = pool.allocate()
+        p2 = p1 + tuple(range(40, 46))
+        prefill(cache, c2, p2[9:], start=9)
+        donate(mgr, cache, p2, c2, now=2.0)  # no seq free: must skip
+        assert len(mgr.tree) == 1
+        assert mgr.match(p1).length == 9
+        assert mgr.retained_cells == 10

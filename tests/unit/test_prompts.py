@@ -38,3 +38,75 @@ def test_vocab_bound_respected():
 def test_unknown_class_errors():
     with pytest.raises(KeyError):
         make_prompt("no-such-class")
+
+
+class TestSharedPrefixTemplate:
+    def test_shared_groups_share_exact_prefixes(self):
+        from repro.workloads import SharedPrefixTemplate
+
+        t = SharedPrefixTemplate(shared_len=24, unique_len=8, n_groups=2,
+                                 share_fraction=1.0, seed=3)
+        prompts = t.prompts(6, vocab=128)
+        assert all(len(p) == 32 for p in prompts)
+        for i, p in enumerate(prompts):
+            assert p[:24] == prompts[i % 2][:24]
+        # Suffixes are unique per request.
+        assert len({p[24:] for p in prompts}) == 6
+
+    def test_share_fraction_zero_gives_unique_prefixes(self):
+        from repro.workloads import SharedPrefixTemplate
+
+        t = SharedPrefixTemplate(shared_len=16, unique_len=4,
+                                 share_fraction=0.0, seed=3)
+        prompts = t.prompts(5, vocab=128)
+        assert len({p[:16] for p in prompts}) == 5
+        assert not any(t.is_shared(i) for i in range(5))
+
+    def test_deterministic_and_validated(self):
+        from repro.workloads import SharedPrefixTemplate
+
+        t = SharedPrefixTemplate(seed=7)
+        assert t.prompts(4, 128) == SharedPrefixTemplate(seed=7).prompts(4, 128)
+        with pytest.raises(ValueError):
+            SharedPrefixTemplate(shared_len=0)
+        with pytest.raises(ValueError):
+            SharedPrefixTemplate(share_fraction=1.5)
+        with pytest.raises(ValueError):
+            SharedPrefixTemplate(n_groups=0)
+
+    def test_token_range(self):
+        from repro.workloads import SharedPrefixTemplate
+
+        for p in SharedPrefixTemplate(seed=1).prompts(3, vocab=128):
+            assert all(16 <= tok < 128 for tok in p)
+
+
+class TestMultiTurnTemplate:
+    def test_turns_strictly_extend(self):
+        from repro.workloads import MultiTurnTemplate
+
+        t = MultiTurnTemplate(system_len=12, turn_len=6, n_turns=3, seed=4)
+        prompts = t.prompts(2, vocab=128)
+        assert len(prompts) == 6
+        for s in range(2):
+            turns = prompts[s * 3:(s + 1) * 3]
+            for a, b in zip(turns, turns[1:]):
+                assert b[: len(a)] == a
+                assert len(b) == len(a) + 6
+
+    def test_system_prompt_shared_across_sessions(self):
+        from repro.workloads import MultiTurnTemplate
+
+        t = MultiTurnTemplate(system_len=12, turn_len=6, n_turns=2, seed=4)
+        prompts = t.prompts(3, vocab=128)
+        assert len({p[:12] for p in prompts}) == 1
+        # Session contexts differ.
+        assert len({p[12:18] for p in prompts[::2]}) == 3
+
+    def test_validated(self):
+        from repro.workloads import MultiTurnTemplate
+
+        with pytest.raises(ValueError):
+            MultiTurnTemplate(system_len=0)
+        with pytest.raises(ValueError):
+            MultiTurnTemplate(n_turns=0)

@@ -1,0 +1,135 @@
+"""Unit tests for the radix tree backing the cross-request prefix cache."""
+
+import pytest
+
+from repro.cache.radix import RadixTree
+
+
+class TestWalk:
+    def test_empty_tree_matches_nothing(self):
+        tree = RadixTree()
+        path, m = tree.walk((1, 2, 3))
+        assert path == [] and m == 0
+
+    def test_exact_single_node(self):
+        tree = RadixTree()
+        tree.insert_child(tree.root, (1, 2, 3), 0, seq=5, now=0.0)
+        path, m = tree.walk((1, 2, 3))
+        assert m == 3
+        assert [(n.seq, k) for n, k in path] == [(5, 3)]
+
+    def test_partial_edge_match(self):
+        tree = RadixTree()
+        tree.insert_child(tree.root, (1, 2, 3, 4), 0, seq=5, now=0.0)
+        path, m = tree.walk((1, 2, 9))
+        assert m == 2
+        (node, k), = path
+        assert node.seq == 5 and k == 2
+
+    def test_walk_descends_through_children(self):
+        tree = RadixTree()
+        a = tree.insert_child(tree.root, (1, 2), 0, seq=1, now=0.0)
+        tree.insert_child(a, (3, 4), 2, seq=2, now=0.0)
+        tree.insert_child(a, (7, 8), 2, seq=3, now=0.0)
+        path, m = tree.walk((1, 2, 7, 8, 9))
+        assert m == 4
+        assert [n.seq for n, _ in path] == [1, 3]
+
+    def test_prompt_shorter_than_edge(self):
+        tree = RadixTree()
+        tree.insert_child(tree.root, (1, 2, 3, 4), 0, seq=5, now=0.0)
+        path, m = tree.walk((1, 2))
+        assert m == 2
+
+
+class TestSplit:
+    def test_split_preserves_spans_and_children(self):
+        tree = RadixTree()
+        node = tree.insert_child(tree.root, (1, 2, 3, 4), 0, seq=5, now=3.0)
+        leaf = tree.insert_child(node, (9,), 4, seq=6, now=3.0)
+        child = tree.split(node, 2, child_seq=7)
+        assert node.tokens == (1, 2) and node.start == 0 and node.end == 2
+        assert child.tokens == (3, 4) and child.start == 2 and child.end == 4
+        assert child.parent is node
+        assert node.children == {3: child}
+        assert child.children == {9: leaf} and leaf.parent is child
+        assert child.last_used == 3.0
+        # Walks still cover the full original span.
+        path, m = tree.walk((1, 2, 3, 4, 9))
+        assert m == 5 and [n.seq for n, _ in path] == [5, 7, 6]
+
+    def test_split_bounds_checked(self):
+        tree = RadixTree()
+        node = tree.insert_child(tree.root, (1, 2), 0, seq=5, now=0.0)
+        with pytest.raises(ValueError):
+            tree.split(node, 0, child_seq=6)
+        with pytest.raises(ValueError):
+            tree.split(node, 2, child_seq=6)
+
+
+class TestEviction:
+    def test_leaves_and_lru_order(self):
+        tree = RadixTree()
+        a = tree.insert_child(tree.root, (1,), 0, seq=1, now=5.0)
+        b = tree.insert_child(a, (2,), 1, seq=2, now=1.0)
+        c = tree.insert_child(a, (3,), 1, seq=3, now=9.0)
+        assert set(tree.leaves()) == {b, c}
+        assert tree.evictable_leaves() == [b, c]  # LRU first
+
+    def test_pinned_leaf_not_evictable(self):
+        tree = RadixTree()
+        a = tree.insert_child(tree.root, (1,), 0, seq=1, now=0.0)
+        a.ref = 1
+        assert tree.evictable_leaves() == []
+        with pytest.raises(ValueError):
+            tree.remove_leaf(a)
+
+    def test_interior_not_removable(self):
+        tree = RadixTree()
+        a = tree.insert_child(tree.root, (1,), 0, seq=1, now=0.0)
+        tree.insert_child(a, (2,), 1, seq=2, now=0.0)
+        with pytest.raises(ValueError):
+            tree.remove_leaf(a)
+
+    def test_remove_leaf_exposes_parent(self):
+        tree = RadixTree()
+        a = tree.insert_child(tree.root, (1,), 0, seq=1, now=0.0)
+        b = tree.insert_child(a, (2,), 1, seq=2, now=0.0)
+        tree.remove_leaf(b)
+        assert tree.evictable_leaves() == [a]
+        path, m = tree.walk((1, 2))
+        assert m == 1
+
+    def test_evictable_cells_respects_pins(self):
+        tree = RadixTree()
+        a = tree.insert_child(tree.root, (1, 2), 0, seq=1, now=0.0)   # 2 cells
+        b = tree.insert_child(a, (3, 4, 5), 2, seq=2, now=0.0)        # 3 cells
+        tree.insert_child(b, (6,), 5, seq=3, now=0.0)                 # 1 cell
+        assert tree.evictable_cells() == 6
+        b.ref = 1
+        # b is pinned: only its free subtree below remains reclaimable.
+        assert tree.evictable_cells() == 1
+        b.ref = 0
+        a.ref = 1
+        # a pinned: b's whole subtree is still reclaimable.
+        assert tree.evictable_cells() == 4
+
+    def test_total_cells(self):
+        tree = RadixTree()
+        a = tree.insert_child(tree.root, (1, 2), 0, seq=1, now=0.0)
+        tree.insert_child(a, (3,), 2, seq=2, now=0.0)
+        assert tree.total_cells() == 3
+        assert len(tree) == 2
+
+
+class TestInsertValidation:
+    def test_duplicate_edge_rejected(self):
+        tree = RadixTree()
+        tree.insert_child(tree.root, (1, 2), 0, seq=1, now=0.0)
+        with pytest.raises(ValueError):
+            tree.insert_child(tree.root, (1, 9), 0, seq=2, now=0.0)
+
+    def test_empty_span_rejected(self):
+        tree = RadixTree()
+        with pytest.raises(ValueError):
+            tree.insert_child(tree.root, (), 0, seq=1, now=0.0)
