@@ -61,8 +61,15 @@ from repro import (  # noqa: E402
     run_engine,
     run_serving,
 )
+from repro.cluster.interconnect import Link, LinkSpec  # noqa: E402
+from repro.cluster.kernel import (  # noqa: E402
+    Delay,
+    ReferenceSimKernel,
+    SimKernel,
+)
 from repro.models.kv_cache import KVCache  # noqa: E402
 from repro.models.transformer import perturbed_copy  # noqa: E402
+from repro.util.units import Gbps, KiB  # noqa: E402
 from repro.spec.draft import DraftParams  # noqa: E402
 from repro.workloads import SharedPrefixTemplate, make_prompt  # noqa: E402
 
@@ -124,6 +131,128 @@ def bench_calibration() -> float:
         book[n % 97] = [float(c[0, 0])] * 4
         n += 1
     return n / (time.perf_counter() - t0)
+
+
+def bench_kernel_events(smoke: bool):
+    """Raw event throughput of the simulation core, new stack vs pre-PR.
+
+    N sender processes broadcast bursts over links to receivers parked on
+    futures — the engines' dominant event mix (same-instant FUSED-burst
+    arrivals, blocking receives resumed at-now, serialized bulk tensors).
+    The identical program runs on both stacks in the same process:
+
+    - **new**: ``SimKernel`` (at-now FIFO + calendar queue) with the
+      coalescing ``Link`` (one kernel event drains all same-instant
+      arrivals);
+    - **reference**: ``ReferenceSimKernel`` (the pre-PR single-heap kernel,
+      retained verbatim) with a per-message ``call_at`` link replicating
+      the pre-PR delivery discipline.
+
+    Both stacks must produce the same simulated outcome (delivered counts
+    and final simulated clock are asserted equal), so the wall-clock ratio
+    isolates scheduler + delivery cost.  Because the two sides run
+    back-to-back on the same host, the speedup needs no calibration; the
+    absolute events/sec is additionally tracked host-calibrated in the CI
+    gate like every other metric.
+
+    Returns ``(events_per_sec, speedup_vs_reference, coalescing)`` where
+    events/sec counts logical deliveries plus process wakeups on the new
+    stack, and coalescing is the deterministic messages-per-delivery-event
+    ratio of the coalesced link path.
+    """
+    n_senders = 2 if smoke else 4
+    rounds = 150 if smoke else 1500
+    burst = 12 if smoke else 16
+    spec = LinkSpec("bench", latency=5e-6, bandwidth=Gbps(1))
+
+    class PerMessageLink:
+        """Pre-PR ``Link``: one ``call_at`` kernel event per message."""
+
+        def __init__(self, kernel, spec):
+            self._kernel = kernel
+            self.spec = spec
+            self._bulk_free_at = 0.0
+
+        def transmit(self, nbytes, on_delivered, eager_hint=False):
+            now = self._kernel.now
+            spec = self.spec
+            wire = nbytes / spec.bandwidth
+            if eager_hint or nbytes <= spec.eager_threshold:
+                arrival = now + spec.latency + wire
+            else:
+                start = max(now, self._bulk_free_at)
+                self._bulk_free_at = start + wire
+                arrival = self._bulk_free_at + spec.latency
+            self._kernel.call_at(arrival, on_delivered)
+            return arrival
+
+    def run_stack(kernel, links):
+        state = {"delivered": 0, "wakeups": 0}
+
+        def receiver(idx):
+            inbox = []
+            signal = [None]
+
+            def on_delivered():
+                inbox.append(None)
+                sig = signal[0]
+                if sig is not None:
+                    signal[0] = None
+                    sig.resolve(None)
+
+            links[idx]._on_delivered = on_delivered
+            total = rounds * burst
+            got = 0
+            while got < total:
+                if not inbox:
+                    signal[0] = kernel.future(f"rx{idx}")
+                    yield signal[0]
+                    state["wakeups"] += 1
+                # One recv() per message, like the MPI layer: the queue is
+                # non-empty so the future resolves immediately and the
+                # yield costs exactly one at-now kernel resume.
+                ready = kernel.future()
+                ready.resolve(None)
+                yield ready
+                inbox.pop()
+                got += 1
+                state["delivered"] += 1
+
+        def sender(idx):
+            link = links[idx]
+            for r in range(rounds):
+                for i in range(burst):
+                    # Mixed traffic: mostly eager control/draft messages,
+                    # every 8th a bulk activation tensor that serializes.
+                    nbytes = 64 * KiB if i % 8 == 7 else 1 * KiB
+                    link.transmit(nbytes, link._on_delivered)
+                yield Delay(1e-4)
+
+        procs = [kernel.spawn(receiver(i), f"rx{i}") for i in range(n_senders)]
+        for i in range(n_senders):
+            procs.append(kernel.spawn(sender(i), f"tx{i}"))
+        t0 = time.perf_counter()
+        kernel.run()
+        wall = time.perf_counter() - t0
+        assert not any(p.alive for p in procs), "kernel bench deadlocked"
+        return state["delivered"], state["wakeups"], kernel.now, wall
+
+    new_kernel = SimKernel()
+    new_links = [Link(new_kernel, spec) for _ in range(n_senders)]
+    delivered, wakeups, now_new, wall_new = run_stack(new_kernel, new_links)
+
+    ref_kernel = ReferenceSimKernel()
+    ref_links = [PerMessageLink(ref_kernel, spec) for _ in range(n_senders)]
+    delivered_ref, _, now_ref, wall_ref = run_stack(ref_kernel, ref_links)
+
+    assert delivered == delivered_ref == n_senders * rounds * burst
+    assert now_new == now_ref, (
+        f"stacks diverged in simulated time: {now_new} vs {now_ref}"
+    )
+    n_delivery_events = sum(l.n_delivery_events for l in new_links)
+    coalescing = delivered / n_delivery_events
+    events = delivered + wakeups
+    return events / wall_new, wall_ref / wall_new, coalescing
 
 
 def bench_metadata(smoke: bool) -> float:
@@ -285,6 +414,7 @@ def bench_serving_prefix(smoke: bool):
 #: metric missing from either side of the comparison is an *error*, never
 #: a silent skip — a renamed metric must not dodge the regression gate.
 TRACKED_METRICS = (
+    "kernel_events_per_sec",
     "metadata_ops_per_sec",
     "single_job_tokens_per_sec",
     "serving_tokens_per_sec",
@@ -312,12 +442,21 @@ WIDTH_FLOORS = {
     "serving_max_draft_batch_width": 1,
     # The shared-prefix scenario must actually hit the prefix cache.
     "serving_prefix_hit_tokens": 0,
+    # The new event stack must beat the retained pre-PR stack on the same
+    # host in the same process (no calibration involved), and the
+    # coalesced link path must actually batch same-instant arrivals.
+    "kernel_events_speedup_vs_reference": 1.2,
+    "kernel_event_coalescing": 4,
 }
 
 
 def run(smoke: bool) -> dict:
     results = {}
     results["calibration_ops_per_sec"] = bench_calibration()
+    events, kernel_speedup, coalescing = bench_kernel_events(smoke)
+    results["kernel_events_per_sec"] = events
+    results["kernel_events_speedup_vs_reference"] = kernel_speedup
+    results["kernel_event_coalescing"] = coalescing
     results["metadata_ops_per_sec"] = bench_metadata(smoke)
     results["single_job_tokens_per_sec"] = bench_single_job(smoke)
     serving, max_width, max_draft = bench_serving(smoke)

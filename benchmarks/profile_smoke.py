@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Profile the serving smoke workload; emit a cumulative-time report.
+
+CI runs this as the ``profile-smoke`` job and uploads the report as an
+artifact, so perf PRs can cite before/after profiles of the actual serving
+hot path instead of guessing where time goes.  Locally:
+
+    python benchmarks/profile_smoke.py                # top-30 to stdout
+    python benchmarks/profile_smoke.py --sort tottime --top 50
+
+The serving scenario is the same one the bench gate runs
+(``bench_hotpath.bench_serving``): closed-loop requests through a 4-node
+pipeline with cross-request draft batching and fused windows — the
+workload every hot-path layer (kernel, links, transaction pool, scratch
+arenas) sits under.  One un-profiled warm-up run precedes the measured
+one so allocator and import costs don't pollute the report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_hotpath import bench_serving  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--top", type=int, default=30, metavar="N",
+                        help="number of entries in the report (default 30)")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"],
+                        help="pstats sort key (default cumulative)")
+    parser.add_argument("--out", default=None, metavar="TXT",
+                        help="also write the report to this file")
+    parser.add_argument("--dump", default=None, metavar="PROF",
+                        help="also dump raw pstats data (for snakeviz etc.)")
+    parser.add_argument("--full", action="store_true",
+                        help="profile the full-size serving run instead of "
+                             "the CI smoke size")
+    args = parser.parse_args(argv)
+
+    smoke = not args.full
+    bench_serving(smoke)  # warm-up: imports, allocator, BLAS thread pools
+    profiler = cProfile.Profile()
+    profiler.enable()
+    tokens_per_sec, max_fusion, max_draft = bench_serving(smoke)
+    profiler.disable()
+
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    header = (
+        f"serving {'smoke' if smoke else 'full'} under cProfile: "
+        f"{tokens_per_sec:.1f} tokens/s (profiled), "
+        f"fusion width {max_fusion}, draft batch width {max_draft}\n"
+        f"top {args.top} by {args.sort}\n\n"
+    )
+    report = header + buf.getvalue()
+    print(report)
+    if args.out:
+        Path(args.out).write_text(report)
+        print(f"wrote {args.out}")
+    if args.dump:
+        stats.dump_stats(args.dump)
+        print(f"wrote {args.dump}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,13 @@ bypass the bulk serialization queue (paying latency plus their own
 serialization only).  Ordering within one (source, destination, tag) stream
 is still enforced by the MPI layer on top (non-overtaking), matching the
 MPI standard's guarantee.
+
+Delivery is *coalesced*: all messages on one link that arrive at the same
+simulated instant (a FUSED burst's pieces, a transaction's START marker plus
+its payload) are drained by a single kernel event instead of one ``call_at``
+per message.  Within one instant and one link, callbacks fire in transmit
+order — the same order the per-message events fired in — so per-stream
+delivery order is unchanged.
 """
 
 from __future__ import annotations
@@ -67,6 +74,16 @@ class Link:
     neighbor.  Bulk messages serialize FIFO; eager messages bypass the bulk
     queue.  Delivery is signalled by invoking a callback at arrival time —
     the MPI layer uses this to enqueue the message at the receiver.
+
+    Statistics separate the three ways a message can take the eager lane:
+    size (at or below ``eager_threshold``), an explicit ``eager_hint``
+    (control markers — counted in ``n_eager_hinted``/``hinted_bytes``), or
+    an infinite-bandwidth link, where the bulk lane cannot serialize and
+    every message is effectively eager (previously such traffic inflated
+    ``bulk_bytes`` while ``busy_until`` never advanced).
+    ``n_delivery_events`` counts kernel events fired for the coalesced
+    delivery path; ``n_messages - n_delivery_events`` messages rode along
+    on another message's event.
     """
 
     def __init__(self, kernel: SimKernel, spec: LinkSpec) -> None:
@@ -74,10 +91,16 @@ class Link:
         self.spec = spec
         #: Simulated time at which the bulk lane becomes free.
         self._bulk_free_at = 0.0
+        #: Pending delivery callbacks, keyed by arrival instant.  Each key
+        #: has exactly one kernel event scheduled to drain it.
+        self._pending: dict[float, list] = {}
         #: Statistics: bytes carried, per lane.
         self.bulk_bytes = 0.0
         self.eager_bytes = 0.0
+        self.hinted_bytes = 0.0
         self.n_messages = 0
+        self.n_eager_hinted = 0
+        self.n_delivery_events = 0
 
     def transmit(self, nbytes: float, on_delivered, eager_hint: bool = False) -> float:
         """Schedule delivery of a message of ``nbytes``.
@@ -93,19 +116,38 @@ class Link:
         """
         now = self._kernel.now
         self.n_messages += 1
-        wire_time = 0.0 if self.spec.bandwidth == float("inf") else nbytes / self.spec.bandwidth
-        if eager_hint or nbytes <= self.spec.eager_threshold:
-            # Eager lane: latency + own serialization, no queueing behind bulk.
-            arrival = now + self.spec.latency + wire_time
+        spec = self.spec
+        infinite = spec.bandwidth == float("inf")
+        wire_time = 0.0 if infinite else nbytes / spec.bandwidth
+        if eager_hint or infinite or nbytes <= spec.eager_threshold:
+            # Eager lane: latency + own serialization, no queueing behind
+            # bulk.  Infinite-bandwidth links cannot serialize, so all their
+            # traffic is eager by construction.
+            arrival = now + spec.latency + wire_time
             self.eager_bytes += nbytes
+            if eager_hint:
+                self.n_eager_hinted += 1
+                self.hinted_bytes += nbytes
         else:
             # Bulk lane: wait for the lane, then serialize.
             start = max(now, self._bulk_free_at)
             self._bulk_free_at = start + wire_time
-            arrival = self._bulk_free_at + self.spec.latency
+            arrival = self._bulk_free_at + spec.latency
             self.bulk_bytes += nbytes
-        self._kernel.call_at(arrival, on_delivered)
+        pending = self._pending.get(arrival)
+        if pending is None:
+            self._pending[arrival] = [on_delivered]
+            self._kernel.call_at(arrival, self._drain)
+        else:
+            pending.append(on_delivered)
         return arrival
+
+    def _drain(self) -> None:
+        """Deliver every message that arrives at the current instant."""
+        callbacks = self._pending.pop(self._kernel.now)
+        self.n_delivery_events += 1
+        for on_delivered in callbacks:
+            on_delivered()
 
     @property
     def busy_until(self) -> float:

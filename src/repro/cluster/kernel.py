@@ -9,10 +9,33 @@ A process advances simulated time by yielding:
 - :class:`Future` — park until another process resolves the future (models
   blocking receives, link availability).
 
-The kernel owns a single event heap keyed by ``(time, tiebreak)``.  Time is
-float seconds.  Determinism: ties are broken by a monotonically increasing
-sequence number, so identical programs replay identically — a property the
-output-equivalence tests rely on.
+Events are totally ordered by ``(time, tiebreak)``.  Time is float seconds.
+Determinism: ties are broken by a monotonically increasing sequence number,
+so identical programs replay identically — a property the output-equivalence
+tests rely on (see ``docs/engine-internals.md``).
+
+Two structures implement that order far cheaper than a single binary heap:
+
+- an **at-now FIFO** (a deque) for the dominant "resume at the current
+  instant" events — future resolutions, zero-delays, spawns.  These are
+  appended and popped in O(1) with no key comparison at all: every at-now
+  event is by construction newer (larger sequence number) than anything
+  already queued for the current instant.
+- a **calendar queue** (:class:`_CalendarQueue`) for timed events: a dict of
+  coarse time buckets plus a small heap of occupied bucket ids.  The
+  pipeline's event-time distribution is near-monotone (delays cluster around
+  the per-layer compute times and link latencies), so pushes are O(1)
+  appends and pops are an index increment over a sorted per-bucket run.
+
+Events are plain tuples — ``(seq, target, value)`` in the FIFO,
+``(time, seq, target, value)`` in the calendar — where ``target`` is either
+a :class:`Process` to resume with ``value`` or a zero-arg callable.  This
+kills the per-event closure allocation the previous heap kernel paid.
+
+The previous single-``heapq`` kernel is retained verbatim as
+:class:`ReferenceSimKernel`: the differential ordering property test replays
+random event storms on both kernels and asserts identical execution traces,
+and the kernel micro-benchmark uses it as the speedup baseline.
 
 This is deliberately a small, purpose-built kernel rather than a general
 framework: the engines only need delays, futures, and a notion of "now".
@@ -21,6 +44,8 @@ framework: the engines only need delays, futures, and a notion of "now".
 from __future__ import annotations
 
 import heapq
+from bisect import insort
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 #: Type of the generator coroutines driven by the kernel.  Processes yield
@@ -91,33 +116,201 @@ class Future:
 class Process:
     """A running generator coroutine inside the kernel."""
 
-    __slots__ = (
-        "gen", "name", "alive", "result", "_kernel", "exception", "_resume_plain"
-    )
+    __slots__ = ("gen", "name", "alive", "result", "exception", "_resume_plain")
 
-    def __init__(self, kernel: "SimKernel", gen: ProcessGen, name: str) -> None:
+    def __init__(self, gen: ProcessGen, name: str) -> None:
         self.gen = gen
         self.name = name
         self.alive = True
         self.result: Any = None
         self.exception: Optional[BaseException] = None
-        self._kernel = kernel
-        #: Cached value-less resume callback.  Delay resumes — the most
-        #: frequent event by far (every compute chunk and link hop is one)
-        #: — reuse it instead of allocating a fresh closure per event.
+        #: Cached value-less resume closure — used only by
+        #: :class:`ReferenceSimKernel` (the calendar kernel schedules tuple
+        #: events and needs no closures).
         self._resume_plain: Optional[Callable[[], None]] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Process({self.name!r}, alive={self.alive})"
 
 
+class _CalendarQueue:
+    """Bucketed priority queue over ``(time, seq, target, value)`` entries.
+
+    Entries hash into coarse time buckets (``int(time / width)``); a small
+    heap tracks which bucket ids are occupied.  The minimum bucket is sorted
+    once into an *active run* consumed by an index pointer, so a pop is an
+    index increment.  A push into a bucket at or before the active run is a
+    ``bisect.insort`` into the unconsumed tail of the run (correct because
+    event times never precede the kernel's ``now``, so such an entry still
+    sorts after everything already consumed); any later bucket is a plain
+    list append.
+
+    The bucket width adapts to the observed event-time distribution: runs
+    larger than ``_MAX_RUN`` trigger a finer width (keeps insorts and sorts
+    small), and a probe window of mostly-single-entry runs triggers a
+    coarser width (keeps the bucket heap small).  Rescaling redistributes
+    only *pending* entries, so the ``(time, seq)`` pop order — the kernel's
+    determinism contract — is unaffected.
+    """
+
+    __slots__ = (
+        "_width", "_inv_width", "_buckets", "_bucket_heap", "_run", "_ri",
+        "_run_id", "_n", "_probe_advances", "_probe_events",
+    )
+
+    _MAX_RUN = 512        # shrink width when one bucket holds more than this
+    _PROBE_WINDOW = 64    # advances per width-growth probe
+    _SCALE = 8.0          # width multiplier per rescale step
+    _MIN_WIDTH = 1e-9
+    _MAX_WIDTH = 1e3
+
+    def __init__(self, width: float = 1e-4) -> None:
+        self._width = width
+        self._inv_width = 1.0 / width
+        self._buckets: dict[int, list] = {}
+        self._bucket_heap: list[int] = []
+        self._run: list = []
+        self._ri = 0
+        self._run_id: Optional[int] = None
+        self._n = 0
+        self._probe_advances = 0
+        self._probe_events = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def push(self, entry: tuple) -> None:
+        self._n += 1
+        b = int(entry[0] * self._inv_width)
+        run_id = self._run_id
+        if run_id is not None and b <= run_id:
+            # At or before the active bucket: insert into the unconsumed
+            # tail of the run so it pops in (time, seq) order.
+            insort(self._run, entry, lo=self._ri)
+            return
+        bucket = self._buckets.get(b)
+        if bucket is None:
+            self._buckets[b] = [entry]
+            heapq.heappush(self._bucket_heap, b)
+        else:
+            bucket.append(entry)
+
+    def peek(self) -> Optional[tuple]:
+        """The minimum entry without removing it, or None when empty."""
+        if self._ri < len(self._run):
+            return self._run[self._ri]
+        if self._n:
+            self._advance()
+            return self._run[self._ri]
+        return None
+
+    def pop(self) -> tuple:
+        i = self._ri
+        if i >= len(self._run):
+            if not self._n:
+                raise IndexError("pop from empty calendar queue")
+            self._advance()
+            i = self._ri
+        entry = self._run[i]
+        self._ri = i + 1
+        self._n -= 1
+        return entry
+
+    def take_at(self, time: float) -> list:
+        """Pop and return every entry stamped exactly ``time``, in order.
+
+        The active run is sorted, so the same-instant entries form a
+        contiguous prefix — one slice instead of a peek+pop call pair per
+        entry.  Entries scheduled *while the returned batch executes* can
+        never land at ``time`` (the kernel routes at-now events to its
+        FIFO), so the slice stays complete and the ``(time, seq)`` order
+        is preserved.
+        """
+        i = self._ri
+        run = self._run
+        if i >= len(run):
+            if not self._n:
+                return []
+            self._advance()
+            i = self._ri
+            run = self._run
+        if run[i][0] != time:
+            return []
+        j = i + 1
+        end = len(run)
+        while j < end and run[j][0] == time:
+            j += 1
+        self._ri = j
+        self._n -= j - i
+        return run[i:j]
+
+    # -- internals ---------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Load the next occupied bucket as the active run (sorted)."""
+        # Width-growth probe: if recent runs averaged fewer than two entries
+        # the buckets are too fine — the bucket heap is doing all the work.
+        self._probe_advances += 1
+        if self._probe_advances >= self._PROBE_WINDOW:
+            if (
+                self._probe_events < 2 * self._PROBE_WINDOW
+                and self._width < self._MAX_WIDTH
+            ):
+                self._rescale(self._width * self._SCALE)
+            self._probe_advances = 0
+            self._probe_events = 0
+        b = heapq.heappop(self._bucket_heap)
+        entries = self._buckets.pop(b)
+        if len(entries) > self._MAX_RUN and self._width > self._MIN_WIDTH:
+            # Bucket too coarse: rescale finer (once) and re-select.
+            self._buckets[b] = entries
+            heapq.heappush(self._bucket_heap, b)
+            self._rescale(self._width / self._SCALE)
+            b = heapq.heappop(self._bucket_heap)
+            entries = self._buckets.pop(b)
+        entries.sort()
+        self._run = entries
+        self._ri = 0
+        self._run_id = b
+        self._probe_events += len(entries)
+
+    def _rescale(self, width: float) -> None:
+        """Re-bucket all pending entries under a new width."""
+        pending = self._run[self._ri:]
+        for bucket in self._buckets.values():
+            pending.extend(bucket)
+        self._width = width
+        self._inv_width = 1.0 / width
+        self._buckets = {}
+        self._bucket_heap = []
+        self._run = []
+        self._ri = 0
+        self._run_id = None
+        n = self._n
+        for entry in pending:
+            self.push(entry)
+        self._n = n
+
+
 class SimKernel:
-    """The event loop: an event heap plus process bookkeeping."""
+    """The event loop: an at-now FIFO, a calendar queue, process bookkeeping.
+
+    Execution order is exactly ascending ``(time, seq)`` — byte-identical to
+    :class:`ReferenceSimKernel`.  The split into FIFO and calendar relies on
+    two invariants the scheduling paths maintain:
+
+    - events scheduled *at* the current instant always enter the FIFO (never
+      the calendar), so they carry larger sequence numbers than any calendar
+      entry stamped with the current time;
+    - simulated time only advances when the FIFO is empty, so every FIFO
+      entry was scheduled at (and runs at) the current ``now``.
+    """
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
-        self._seq = 0
         self.now = 0.0
+        self._seq = 0
+        self._fifo: deque = deque()
+        self._queue = _CalendarQueue()
         self._processes: list[Process] = []
         self._n_events = 0
 
@@ -125,9 +318,10 @@ class SimKernel:
 
     def spawn(self, gen: ProcessGen, name: str = "proc") -> Process:
         """Register a generator as a process and schedule its first step now."""
-        proc = Process(self, gen, name)
+        proc = Process(gen, name)
         self._processes.append(proc)
-        self._schedule_resume(proc, None, first=True)
+        self._seq += 1
+        self._fifo.append((self._seq, proc, None))
         return proc
 
     def future(self, label: str = "") -> Future:
@@ -136,9 +330,14 @@ class SimKernel:
 
     def call_at(self, time: float, fn: Callable[[], None]) -> None:
         """Schedule a plain callback at an absolute simulated time."""
-        if time < self.now:
-            raise SimError(f"cannot schedule in the past ({time} < {self.now})")
-        self._push(time, fn)
+        now = self.now
+        if time < now:
+            raise SimError(f"cannot schedule in the past ({time} < {now})")
+        self._seq += 1
+        if time == now:
+            self._fifo.append((self._seq, fn, None))
+        else:
+            self._queue.push((time, self._seq, fn, None))
 
     def call_after(self, delay: float, fn: Callable[[], None]) -> None:
         """Schedule a plain callback ``delay`` seconds from now."""
@@ -147,27 +346,80 @@ class SimKernel:
     # -- event loop ----------------------------------------------------------
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
-        """Drain the event heap.
+        """Drain the event queues.
 
         Args:
-            until: stop once simulated time would exceed this value.
-            max_events: safety valve against runaway simulations.
+            until: stop once simulated time would exceed this value.  The
+                first event past the horizon stays queued, so a later
+                ``run()`` resumes exactly where this one stopped.
+            max_events: safety valve against runaway simulations; counts
+                cumulatively across ``run`` calls on this kernel.
 
         The loop ends when no events remain; parked processes that were
         never woken are simply abandoned (engines use a completion future to
         detect success, and tests assert on process liveness).
         """
-        while self._heap:
-            time, _, fn = heapq.heappop(self._heap)
-            if until is not None and time > until:
-                # Leave the event popped; the simulation horizon was reached.
-                self.now = until
-                return
-            self.now = time
-            self._n_events += 1
-            if max_events is not None and self._n_events > max_events:
-                raise SimError(f"exceeded max_events={max_events}")
-            fn()
+        fifo = self._fifo
+        queue = self._queue
+        limit = float("inf") if max_events is None else max_events
+        n = self._n_events
+        try:
+            while True:
+                # 1. Same-instant calendar entries run before anything in
+                #    the FIFO: they were scheduled before `now` was reached,
+                #    so they carry strictly smaller sequence numbers.  The
+                #    batch is taken in one call; executing it cannot add
+                #    same-instant calendar entries (those go to the FIFO),
+                #    but it can resolve futures into earlier FIFO slots —
+                #    which still run after the batch, in seq order, because
+                #    every batch entry predates `now` being reached.
+                while True:
+                    batch = queue.take_at(self.now)
+                    if not batch:
+                        break
+                    for entry in batch:
+                        n += 1
+                        if n > limit:
+                            raise SimError(f"exceeded max_events={max_events}")
+                        target = entry[2]
+                        if target.__class__ is Process:
+                            self._step(target, entry[3])
+                        else:
+                            target()
+                # 2. Drain the at-now FIFO.  Events it spawns at the current
+                #    instant land in the FIFO (never the calendar), so no
+                #    calendar re-peek is needed per pop.
+                while fifo:
+                    n += 1
+                    if n > limit:
+                        raise SimError(f"exceeded max_events={max_events}")
+                    _, target, value = fifo.popleft()
+                    if target.__class__ is Process:
+                        self._step(target, value)
+                    else:
+                        target()
+                # 3. Advance time to the next calendar event.
+                entry = queue.peek()
+                if entry is None:
+                    return
+                time = entry[0]
+                if until is not None and time > until:
+                    # Horizon reached: leave the event queued for the next
+                    # run() call (the pre-calendar kernel dropped it here).
+                    self.now = until
+                    return
+                queue.pop()
+                self.now = time
+                n += 1
+                if n > limit:
+                    raise SimError(f"exceeded max_events={max_events}")
+                target = entry[2]
+                if target.__class__ is Process:
+                    self._step(target, entry[3])
+                else:
+                    target()
+        finally:
+            self._n_events = n
 
     @property
     def n_events(self) -> int:
@@ -180,19 +432,116 @@ class SimKernel:
 
     # -- internals -----------------------------------------------------------
 
+    def _schedule_resume(self, proc: Process, value: Any) -> None:
+        """Queue ``proc`` to resume with ``value`` at the current instant."""
+        self._seq += 1
+        self._fifo.append((self._seq, proc, value))
+
+    def _step(self, proc: Process, value: Any) -> None:
+        """Advance ``proc`` one yield, interpreting what it yielded.
+
+        Yields dispatch on exact type: processes must yield :class:`Delay`
+        or :class:`Future` instances themselves, not subclasses.
+        """
+        if not proc.alive:
+            return
+        try:
+            yielded = proc.gen.send(value)
+        except StopIteration as stop:
+            proc.alive = False
+            proc.result = stop.value
+            return
+        except BaseException as exc:
+            proc.alive = False
+            proc.exception = exc
+            raise
+        cls = yielded.__class__
+        if cls is Delay:
+            time = self.now + yielded.duration
+            self._seq += 1
+            if time <= self.now:
+                # Zero (or underflowing) delay: at-now events take the FIFO
+                # so they stay ordered after every queued same-time event.
+                self._fifo.append((self._seq, proc, None))
+            else:
+                self._queue.push((time, self._seq, proc, None))
+        elif cls is Future:
+            if yielded._park(proc):
+                # Already resolved: resume immediately with the stored value.
+                self._seq += 1
+                self._fifo.append((self._seq, proc, yielded.value))
+        else:
+            proc.alive = False
+            raise SimError(
+                f"process {proc.name!r} yielded {yielded!r}; expected Delay or Future"
+            )
+
+
+class ReferenceSimKernel:
+    """The pre-calendar heap kernel, retained as the ordering reference.
+
+    One binary heap keyed by ``(time, seq)``, one closure per scheduled
+    resume.  The differential property test replays random event storms on
+    this kernel and :class:`SimKernel` and asserts identical traces; the
+    kernel micro-benchmark in ``benchmarks/bench_hotpath.py`` uses it as
+    the speedup baseline.  Not used by the engines.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.now = 0.0
+        self._processes: list[Process] = []
+        self._n_events = 0
+
+    def spawn(self, gen: ProcessGen, name: str = "proc") -> Process:
+        proc = Process(gen, name)
+        self._processes.append(proc)
+        self._schedule_resume(proc, None)
+        return proc
+
+    def future(self, label: str = "") -> Future:
+        return Future(self, label)  # type: ignore[arg-type]
+
+    def call_at(self, time: float, fn: Callable[[], None]) -> None:
+        if time < self.now:
+            raise SimError(f"cannot schedule in the past ({time} < {self.now})")
+        self._push(time, fn)
+
+    def call_after(self, delay: float, fn: Callable[[], None]) -> None:
+        self.call_at(self.now + delay, fn)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return
+            time, _, fn = heapq.heappop(self._heap)
+            self.now = time
+            self._n_events += 1
+            if max_events is not None and self._n_events > max_events:
+                raise SimError(f"exceeded max_events={max_events}")
+            fn()
+
+    @property
+    def n_events(self) -> int:
+        return self._n_events
+
+    def alive_processes(self) -> list[Process]:
+        return [p for p in self._processes if p.alive]
+
     def _push(self, time: float, fn: Callable[[], None]) -> None:
         self._seq += 1
         heapq.heappush(self._heap, (time, self._seq, fn))
 
-    def _schedule_resume(self, proc: Process, value: Any, first: bool = False) -> None:
-        self._push(self.now, lambda: self._step(proc, value, first))
+    def _schedule_resume(self, proc: Process, value: Any) -> None:
+        self._push(self.now, lambda: self._step(proc, value))
 
-    def _step(self, proc: Process, value: Any, first: bool = False) -> None:
-        """Advance ``proc`` one yield, interpreting what it yielded."""
+    def _step(self, proc: Process, value: Any) -> None:
         if not proc.alive:
             return
         try:
-            yielded = proc.gen.send(None if first else value)
+            yielded = proc.gen.send(value)
         except StopIteration as stop:
             proc.alive = False
             proc.result = stop.value
@@ -211,7 +560,6 @@ class SimKernel:
             self._push(self.now + yielded.duration, cb)
         elif isinstance(yielded, Future):
             if yielded._park(proc):
-                # Already resolved: resume immediately with the stored value.
                 self._schedule_resume(proc, yielded.value)
         else:
             proc.alive = False
@@ -224,7 +572,7 @@ def run_to_completion(kernel: SimKernel, procs: Iterable[Process], max_events: i
     """Run the kernel and assert the given processes all finished.
 
     Raises:
-        SimError: if any of ``procs`` is still alive when the heap drains —
+        SimError: if any of ``procs`` is still alive when the queues drain —
             the signature of a deadlock (e.g. a receive no send matches).
     """
     kernel.run(max_events=max_events)

@@ -1,0 +1,191 @@
+"""Free-list pools for the transaction plane's per-message records.
+
+Every pipeline hop allocates a handful of small payload objects — an
+:class:`~repro.comm.payloads.Activations` record per run, a
+:class:`~repro.comm.payloads.FusedRun` wrapper per run, one
+:class:`~repro.comm.payloads.FusedBatch` container per window, and a
+:class:`~repro.comm.payloads.LogitsPayload` per completed run.  Their
+lifetimes are strictly shorter than a run's: a record is dead the moment
+the receiving stage has unpacked it.  :class:`TransactionPool` recycles
+them through per-type free lists, turning the dominant allocation churn of
+the transaction plane into attribute stores.
+
+A single pool is shared by the head and every worker of one engine: the
+simulation passes payloads by reference, so "the receiver released it"
+and "the next sender may reuse it" describe the same host-level object.
+Long-lived records (``DecodeMeta`` and its ``TokenSlot`` list) are *not*
+pooled — they are referenced concurrently by several simulated stages and
+by the head's in-flight bookkeeping.
+
+Releasing is optional for correctness: a record that is never released is
+simply garbage-collected and the pool allocates a fresh one next time.
+What must never happen is releasing a record that is still reachable —
+that aliases two logical messages onto one object.  Debug mode (pass
+``debug=True`` or set ``REPRO_POOL_DEBUG=1``) brands every record with a
+liveness flag and raises :class:`PoolError` on double-release or on a
+free-list entry that is still marked live; the pool-recycling property
+test runs the full engine stack in this mode.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, List, Optional
+
+from repro.comm.payloads import Activations, FusedBatch, FusedRun, LogitsPayload
+
+
+class PoolError(RuntimeError):
+    """A pooled record was released twice or recycled while still live."""
+
+
+def _debug_default() -> bool:
+    return bool(os.environ.get("REPRO_POOL_DEBUG"))
+
+
+class TransactionPool:
+    """Per-type free lists for transaction payload records.
+
+    ``acquire_*`` returns a recycled record (or a fresh one when the free
+    list is empty) with every field reset; ``release_*`` returns a record
+    to its free list and drops the payload references it carried, so a
+    recycled record never keeps tensors alive.
+    """
+
+    __slots__ = (
+        "debug", "_acts", "_runs", "_batches", "_logits",
+        "n_allocated", "n_reused",
+    )
+
+    def __init__(self, debug: Optional[bool] = None) -> None:
+        self.debug = _debug_default() if debug is None else debug
+        self._acts: List[Activations] = []
+        self._runs: List[FusedRun] = []
+        self._batches: List[FusedBatch] = []
+        self._logits: List[LogitsPayload] = []
+        #: Statistics: fresh constructions vs. free-list hits.
+        self.n_allocated = 0
+        self.n_reused = 0
+
+    # -- debug invariant ----------------------------------------------------
+
+    def _mark_live(self, record: Any) -> None:
+        if getattr(record, "_pool_live", False):
+            raise PoolError(
+                f"pool handed out a record still marked live: {record!r}"
+            )
+        record._pool_live = True
+
+    def _mark_free(self, record: Any) -> None:
+        # A record constructed outside the pool (baseline engines, tests)
+        # may be released into it; it has no brand yet and counts as live.
+        if not getattr(record, "_pool_live", True):
+            raise PoolError(f"record released twice: {record!r}")
+        record._pool_live = False
+
+    # -- Activations ---------------------------------------------------------
+
+    def acquire_activations(
+        self,
+        run_id: int,
+        nbytes: float,
+        hidden: Any = None,
+        cancelled: bool = False,
+    ) -> Activations:
+        free = self._acts
+        if free:
+            act = free.pop()
+            self.n_reused += 1
+            act.run_id = run_id
+            act.nbytes = nbytes
+            act.hidden = hidden
+            act.cancelled = cancelled
+        else:
+            act = Activations(run_id, nbytes, hidden, cancelled)
+            self.n_allocated += 1
+        if self.debug:
+            self._mark_live(act)
+        return act
+
+    def release_activations(self, act: Activations) -> None:
+        if self.debug:
+            self._mark_free(act)
+        act.hidden = None
+        self._acts.append(act)
+
+    # -- FusedRun ------------------------------------------------------------
+
+    def acquire_fused_run(self, meta: Any, act: Activations) -> FusedRun:
+        free = self._runs
+        if free:
+            run = free.pop()
+            self.n_reused += 1
+            run.meta = meta
+            run.act = act
+        else:
+            run = FusedRun(meta, act)
+            self.n_allocated += 1
+        if self.debug:
+            self._mark_live(run)
+        return run
+
+    def release_fused_run(self, run: FusedRun) -> None:
+        if self.debug:
+            self._mark_free(run)
+        run.meta = None
+        run.act = None
+        self._runs.append(run)
+
+    # -- FusedBatch ----------------------------------------------------------
+
+    def acquire_fused_batch(self) -> FusedBatch:
+        """An empty batch container; the caller fills ``items``/``nbytes``."""
+        free = self._batches
+        if free:
+            fb = free.pop()
+            self.n_reused += 1
+            fb.nbytes = 0.0
+        else:
+            fb = FusedBatch([], nbytes=0.0)
+            self.n_allocated += 1
+        if self.debug:
+            self._mark_live(fb)
+        return fb
+
+    def release_fused_batch(self, fb: FusedBatch) -> None:
+        """Recycle a batch container (its ``items`` list is kept and
+        cleared).  The items themselves are released by their consumers."""
+        if self.debug:
+            self._mark_free(fb)
+        fb.items.clear()
+        self._batches.append(fb)
+
+    # -- LogitsPayload -------------------------------------------------------
+
+    def acquire_logits(
+        self,
+        run_id: int,
+        logits: List[Any],
+        nbytes: float,
+        cancelled: bool = False,
+    ) -> LogitsPayload:
+        free = self._logits
+        if free:
+            payload = free.pop()
+            self.n_reused += 1
+            payload.run_id = run_id
+            payload.logits = logits
+            payload.nbytes = nbytes
+            payload.cancelled = cancelled
+        else:
+            payload = LogitsPayload(run_id, logits, nbytes, cancelled)
+            self.n_allocated += 1
+        if self.debug:
+            self._mark_live(payload)
+        return payload
+
+    def release_logits(self, payload: LogitsPayload) -> None:
+        if self.debug:
+            self._mark_free(payload)
+        payload.logits = None
+        self._logits.append(payload)

@@ -32,7 +32,6 @@ from repro.comm.payloads import (
     Activations,
     CancelMsg,
     DecodeMeta,
-    FusedRun,
     TokenSlot,
 )
 from repro.core.continuous import CutoffController
@@ -80,13 +79,15 @@ def new_request_context(
 
 
 def build_run_payload(
-    rec: RunRecord, states, want_all_logits: bool = True
+    rec: RunRecord, states, want_all_logits: bool = True, pool=None
 ) -> Tuple[DecodeMeta, Activations]:
     """The (meta, activations) pieces of one run's decode transaction.
 
     ``want_all_logits`` is True for verification runs (every slot's logits
     feed the verify walk) and False for prefill, where only the last
-    prompt slot's logits are sampled.
+    prompt slot's logits are sampled.  The activation record comes from
+    ``pool`` when given (the meta and its slots are long-lived — they stay
+    referenced by the head's flight bookkeeping — and are never pooled).
     """
     slots = [
         TokenSlot(
@@ -98,11 +99,11 @@ def build_run_payload(
         for i, tok in enumerate(rec.tokens)
     ]
     meta = DecodeMeta(rec.run_id, slots, rec.is_speculative, oracle_states=states)
-    act = Activations(
-        rec.run_id,
-        nbytes=TOKEN_ACTIVATION_BYTES_PER_TOKEN * len(rec.tokens),
-        hidden=None,
-    )
+    nbytes = TOKEN_ACTIVATION_BYTES_PER_TOKEN * len(rec.tokens)
+    if pool is not None:
+        act = pool.acquire_activations(rec.run_id, nbytes, hidden=None)
+    else:
+        act = Activations(rec.run_id, nbytes=nbytes, hidden=None)
     return meta, act
 
 
@@ -110,7 +111,7 @@ def send_record(engine, rec: RunRecord, states, want_all_logits: bool = True) ->
     """Send one run's decode transaction into the pipeline."""
     first_target = engine.target_ranks()[0]
     # send_decode stamps meta.nbytes from the backend's cost descriptor.
-    meta, act = build_run_payload(rec, states, want_all_logits)
+    meta, act = build_run_payload(rec, states, want_all_logits, pool=engine.pool)
     engine.send_decode(first_target, meta, act)
     rec.dispatched_at = engine.net.kernel.now
 
@@ -419,8 +420,8 @@ def dispatch_burst(engine, entries) -> List[int]:
             items, n_runs = [], 0
         if ops:
             items.append(list(ops))
-        meta, act = build_run_payload(rec, states)
-        items.append(FusedRun(meta, act))
+        meta, act = build_run_payload(rec, states, pool=engine.pool)
+        items.append(engine.pool.acquire_fused_run(meta, act))
         n_runs += 1
         track_dispatch(engine, ctx, rec)
         rids.append(ctx.req_id)
@@ -505,6 +506,7 @@ def pipeinfer_head(engine, job: GenerationJob) -> Generator:
     send_record(engine, prefill_rec, states, want_all_logits=False)
     msg = yield from ep.recv(last_target, Tag.LOGITS)
     first = argmax_token(msg.payload.logits[0])
+    engine.pool.release_logits(msg.payload)
     ctx.accepted.append(first)
     ctx.chain.append(first)
     ctx.prefilled = True
@@ -518,6 +520,7 @@ def pipeinfer_head(engine, job: GenerationJob) -> Generator:
         while not ctx.target_reached() and ep.iprobe(last_target, Tag.LOGITS):
             msg = yield from ep.recv(last_target, Tag.LOGITS)
             yield from process_run_logits(engine, ctx, msg.payload)
+            engine.pool.release_logits(msg.payload)
             drained = True
         if drained:
             continue

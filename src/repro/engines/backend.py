@@ -16,7 +16,7 @@ sizes, and memory footprints.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -25,6 +25,7 @@ from repro.cluster.hardware import NodeSpec
 from repro.comm.payloads import CacheOp, CacheOpKind, DecodeMeta, TokenSlot
 from repro.models.cost import CostModel
 from repro.models.kv_cache import KVCache
+from repro.models.layers import ScratchArena
 from repro.models.oracle import OracleLM, OracleLogits, make_aligned_pair
 from repro.models.range_cache import RangeKVCache
 from repro.models.sampler import LogitsLike, batched_top1, softmax_probs
@@ -102,13 +103,21 @@ class ChainState:
 
 @dataclass
 class WorkerState:
-    """Per-rank execution state: the KV shard and layer assignment."""
+    """Per-rank execution state: the KV shard and layer assignment.
+
+    ``arena`` holds the rank's private scratch buffers: decode windows of
+    the same shape reuse the same temporaries pass after pass.  Private
+    per rank because an arena must never be shared by two concurrent
+    consumers — forwarded activations are copied out before the stage
+    yields, so recycling is invisible to the simulation.
+    """
 
     rank: int
     layer_range: Tuple[int, int]
     cache: Any  # KVCache (functional) or RangeKVCache (performance)
     is_first_stage: bool
     is_last_stage: bool
+    arena: ScratchArena = field(default_factory=ScratchArena)
 
 
 @dataclass
@@ -391,6 +400,9 @@ class _DraftPlane:
     def __init__(self, model: TinyTransformer, n_cells: int = 1024) -> None:
         self.model = model
         self.cache = model.new_cache(n_cells)
+        #: Scratch buffers for the plane's draft decodes (head-side, so
+        #: never shared with a pipeline stage's arena).
+        self.arena = ScratchArena()
         #: seq -> tokens whose cells the cache holds (positions 0..n-1).
         self.tokens: dict = {}
         self._next_seq = 0
@@ -440,12 +452,18 @@ class _DraftPlane:
             for i in range(common, len(prefix))
         ]
 
-    def decode(self, slots: Sequence[TokenSlot]) -> np.ndarray:
+    def decode(
+        self,
+        slots: Sequence[TokenSlot],
+        row_groups: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
         """One draft forward for a (possibly cross-chain) slot batch."""
         if self.cache.n_free < len(slots):
             need = self.cache.n_used + len(slots)
             self.cache.grow(max(2 * self.cache.n_cells, 2 * need))
-        return self.model.decode(list(slots), self.cache)
+        return self.model.decode(
+            list(slots), self.cache, arena=self.arena, row_groups=row_groups
+        )
 
 
 class FunctionalBackend(Backend):
@@ -511,9 +529,12 @@ class FunctionalBackend(Backend):
         """
         plane = self._plane()
         slots: List[TokenSlot] = []
+        counts: List[int] = []
         for chain in chains:
-            slots.extend(plane.suffix_slots(chain))
-        logits = plane.decode(slots)
+            chain_slots = plane.suffix_slots(chain)
+            slots.extend(chain_slots)
+            counts.append(len(chain_slots))
+        logits = plane.decode(slots, row_groups=counts)
         # One fused top-1+confidence kernel over the whole round instead
         # of a full softmax row per chain (<= 1e-10 of the per-row path).
         tokens, confs = batched_top1(logits)
@@ -557,7 +578,8 @@ class FunctionalBackend(Backend):
             dtype=np.intp,
         )
         return self.target.forward_stage(
-            hidden, meta.slots, cache, ws.layer_range, cells=cells
+            hidden, meta.slots, cache, ws.layer_range, cells=cells,
+            arena=ws.arena,
         )
 
     def compute_stage_multi(self, ws, window):
@@ -626,6 +648,7 @@ class FunctionalBackend(Backend):
             if not group:
                 continue
             parts = [planned[i] for i in group]
+            row_groups = [len(p[2]) for p in parts]
             if len(parts) == 1:
                 idx, hidden, slots, _, cells, visible = parts[0]
             else:
@@ -644,7 +667,8 @@ class FunctionalBackend(Backend):
                     visible[off : off + rows.shape[0], : rows.shape[1]] = rows
                     off += rows.shape[0]
             fused = self.target.forward_stage(
-                hidden, slots, cache, ws.layer_range, cells=cells, visible=visible
+                hidden, slots, cache, ws.layer_range, cells=cells,
+                visible=visible, arena=ws.arena, row_groups=row_groups,
             )
             if len(parts) == 1:
                 outs[idx] = fused
@@ -658,7 +682,7 @@ class FunctionalBackend(Backend):
 
     def finalize_logits(self, ws, meta, hidden):
         want = [i for i, s in enumerate(meta.slots) if s.want_logits]
-        out = self.target.output(hidden, want)
+        out = self.target.output(hidden, want, arena=ws.arena)
         return [out[i] for i in range(len(want))]
 
     # -- timing ---------------------------------------------------------------------

@@ -21,10 +21,10 @@ from repro.comm.payloads import (
     Activations,
     CacheOp,
     DecodeMeta,
-    FusedBatch,
     FusedRun,
     ShutdownMsg,
 )
+from repro.comm.pool import TransactionPool
 from repro.comm.transactions import TransactionType, send_transaction
 from repro.engines.backend import Backend
 from repro.metrics.collectors import MetricsCollector
@@ -179,6 +179,10 @@ class BaseEngine(ABC):
         #: Per-request reports, populated by the serving heads.
         self.request_reports: List = []
         self._next_run_id = 0
+        #: Free lists for the transaction plane's per-message records,
+        #: shared by the head and every worker of this engine (payloads
+        #: travel by reference, so one host-level pool is correct).
+        self.pool = TransactionPool()
 
     # -- rank layout (overridden by PipeInfer) --------------------------------
 
@@ -237,6 +241,7 @@ class BaseEngine(ABC):
                         node=self.cluster.nodes[rank],
                         metrics=self.metrics,
                         max_fuse=self.config.max_fused_runs,
+                        pool=self.pool,
                     ),
                     name=f"worker-{rank}",
                 )
@@ -356,7 +361,9 @@ class BaseEngine(ABC):
                 nbytes += item.meta.nbytes + item.act.nbytes
             else:
                 nbytes += CACHE_OP_NBYTES * len(item)
-        fb = FusedBatch(list(items), nbytes=nbytes)
+        fb = self.pool.acquire_fused_batch()
+        fb.items.extend(items)
+        fb.nbytes = nbytes
         send_transaction(
             self.ep(), dest, TransactionType.FUSED, [(fb, fb.nbytes)]
         )

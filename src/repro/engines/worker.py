@@ -44,9 +44,9 @@ from repro.comm.payloads import (
     Activations,
     FusedBatch,
     FusedRun,
-    LogitsPayload,
     ShutdownMsg,
 )
+from repro.comm.pool import TransactionPool
 from repro.comm.transactions import TransactionType, recv_piece, send_transaction
 from repro.engines.backend import (
     Backend,
@@ -77,6 +77,7 @@ def pipeline_worker(
     node: NodeSpec,
     metrics: MetricsCollector,
     max_fuse: int = DEFAULT_MAX_FUSED_RUNS,
+    pool: Optional[TransactionPool] = None,
 ) -> Generator:
     """Worker process for one pipeline rank.
 
@@ -91,9 +92,14 @@ def pipeline_worker(
         max_fuse: cap on decode runs drained into one fusion window
             (1 disables cross-run fusion; windows still absorb cache-op
             transactions between a run and its predecessor).
+        pool: the engine's shared :class:`TransactionPool`; payload records
+            this stage unpacks are released into it and outbound records
+            are acquired from it.
     """
     ep = net.endpoint(rank)
     cancelled: Set[int] = set()
+    if pool is None:
+        pool = TransactionPool()
 
     def busy(seconds: float) -> None:
         metrics.add_busy(rank, seconds)
@@ -140,7 +146,7 @@ def pipeline_worker(
             if ttype == TransactionType.DECODE:
                 meta = yield from recv_piece(ep, src, ttype)
                 act: Activations = yield from recv_piece(ep, src, ttype)
-                window.append(FusedRun(meta, act))
+                window.append(pool.acquire_fused_run(meta, act))
                 n_runs += 1
             elif ttype == TransactionType.CACHE_OP:
                 batch = yield from recv_piece(ep, src, ttype)
@@ -151,6 +157,9 @@ def pipeline_worker(
                     window.append(item)
                     if isinstance(item, FusedRun):
                         n_runs += 1
+                # The batch container is dead once unpacked (its items are
+                # now owned by the window); recycle it.
+                pool.release_fused_batch(fb)
             else:  # pragma: no cover - exhaustive enum
                 raise RuntimeError(f"worker {rank}: unknown transaction {ttype}")
             if n_runs >= max_fuse or not ep.iprobe(src, Tag.START):
@@ -162,6 +171,7 @@ def pipeline_worker(
             yield from _process_window(
                 ep, window, backend, ws, node, metrics,
                 rank, downstream, head_rank, cancelled, busy, drain_cancels,
+                pool,
             )
 
         if shutdown:
@@ -176,6 +186,7 @@ def pipeline_worker(
 def _process_window(
     ep, window, backend, ws, node, metrics,
     rank, downstream, head_rank, cancelled, busy, drain_cancels,
+    pool,
 ) -> Generator:
     """Evaluate one fusion window and forward its records in order."""
     lo, hi = ws.layer_range
@@ -184,6 +195,9 @@ def _process_window(
     yield from drain_cancels()
 
     # Build the compute window, marking runs the stage will not evaluate.
+    # The inbound per-run records are dead once unpacked into StageRuns
+    # (the hidden tensor is extracted, the meta travels on by reference):
+    # recycle them through the engine's shared pool.
     items: List = []          # StageRun | List[CacheOp], dispatch order
     stage_runs: List[StageRun] = []
     n_ops = 0
@@ -197,6 +211,8 @@ def _process_window(
             sr = StageRun(it.meta, it.act.hidden, skip=skip)
             items.append(sr)
             stage_runs.append(sr)
+            pool.release_activations(it.act)
+            pool.release_fused_run(it)
         else:
             items.append(it)
             n_ops += len(it)
@@ -252,41 +268,42 @@ def _process_window(
             busy(t)
         for sr, hidden in zip(stage_runs, outs):
             if sr.skip:
-                payload = LogitsPayload(
+                payload = pool.acquire_logits(
                     sr.meta.run_id, [], nbytes=CANCELLED_LOGITS_NBYTES,
                     cancelled=True,
                 )
             else:
                 logits = backend.finalize_logits(ws, sr.meta, hidden)
-                payload = LogitsPayload(
+                payload = pool.acquire_logits(
                     sr.meta.run_id, logits,
                     nbytes=backend.logits_nbytes(len(logits)),
                 )
             ep.send(payload, head_rank, Tag.LOGITS, nbytes=payload.nbytes)
     elif downstream is not None:
-        out_items: List = []
+        fb = pool.acquire_fused_batch()
+        out_items = fb.items
         nbytes = 0.0
         oi = 0
         for it in items:
             if isinstance(it, StageRun):
                 if it.skip:
-                    out = Activations(
+                    out = pool.acquire_activations(
                         it.meta.run_id, EMPTY_ACTIVATION_NBYTES, None,
                         cancelled=True,
                     )
                 else:
-                    out = Activations(
+                    out = pool.acquire_activations(
                         it.meta.run_id,
                         backend.activation_nbytes(it.meta.n_tokens),
                         outs[oi],
                     )
-                out_items.append(FusedRun(it.meta, out))
+                out_items.append(pool.acquire_fused_run(it.meta, out))
                 nbytes += it.meta.nbytes + out.nbytes
                 oi += 1
             else:
                 out_items.append(it)
                 nbytes += 32.0 * len(it)
-        fb = FusedBatch(out_items, nbytes=nbytes)
+        fb.nbytes = nbytes
         send_transaction(
             ep, downstream, TransactionType.FUSED, [(fb, fb.nbytes)]
         )

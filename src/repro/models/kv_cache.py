@@ -135,10 +135,19 @@ class KVCache:
         return 0 <= seq < self._member.shape[1]
 
     def _release(self, cells: np.ndarray) -> None:
-        """Mark ``cells`` free and return them to the allocator."""
+        """Mark ``cells`` free and return them to the allocator.
+
+        Bulk frees (request teardown) re-heapify once instead of pushing
+        cell by cell; allocation order is unchanged either way (the heap
+        always pops the lowest free index).
+        """
         self.pos[cells] = -1
-        for c in cells:
-            heapq.heappush(self._free, int(c))
+        if len(cells) > 8:
+            self._free.extend(int(c) for c in cells)
+            heapq.heapify(self._free)
+        else:
+            for c in cells:
+                heapq.heappush(self._free, int(c))
 
     # -- allocation ------------------------------------------------------------
 
@@ -173,20 +182,25 @@ class KVCache:
                 f"{len(self._free)} free"
             )
         cells = []
+        free = self._free
+        pos = self.pos
         for p, seq_ids in entries:
-            seq_ids = set(seq_ids)
             if not seq_ids:
                 raise KVCacheError("a cell must belong to at least one sequence")
             if p < 0:
                 raise KVCacheError(f"invalid position {p}")
-            if min(seq_ids) < 0:
-                raise KVCacheError(f"invalid sequence id {min(seq_ids)}")
-            self._ensure_seq(max(seq_ids))
-            cell = heapq.heappop(self._free)
+            ids = list(set(seq_ids))
+            if min(ids) < 0:
+                raise KVCacheError(f"invalid sequence id {min(ids)}")
+            self._ensure_seq(max(ids))
+            cell = heapq.heappop(free)
             if cell >= self._high_water:
                 self._high_water = cell + 1
-            self.pos[cell] = p
-            self._member[cell, list(seq_ids)] = True
+            pos[cell] = p
+            if len(ids) == 1:
+                self._member[cell, ids[0]] = True
+            else:
+                self._member[cell, ids] = True
             cells.append(cell)
         return cells
 
@@ -252,8 +266,12 @@ class KVCache:
             if seq_src < 0:
                 raise KVCacheError(f"invalid sequence id {seq_src}")
             return 0
+        # Scans stop at the high-water mark: cells past it have never been
+        # allocated, so they belong to no sequence.
+        hw = self._high_water
+        pos = self.pos[:hw]
         cand = np.flatnonzero(
-            self._member[:, seq_src] & (self.pos >= p0) & (self.pos < p1)
+            self._member[:hw, seq_src] & (pos >= p0) & (pos < p1)
         )
         if cand.size == 0:
             return 0
@@ -262,10 +280,17 @@ class KVCache:
         # destination already holds.  Copies into a *fresh* partition (the
         # common case: materializing a new run's context) skip the
         # destination-position scan entirely.
-        uniq_pos, first = np.unique(self.pos[cand], return_index=True)
-        dst_cells = self._member[:, seq_dst] & (self.pos >= 0)
+        cand_pos = pos[cand]
+        if cand_pos.size == 1 or (cand_pos[1:] > cand_pos[:-1]).all():
+            # Cells allocated lowest-index-first while a prompt is decoded
+            # in order leave positions already strictly ascending — the
+            # common prefix-admission shape; skip the unique() sort.
+            uniq_pos, first = cand_pos, np.arange(cand_pos.size)
+        else:
+            uniq_pos, first = np.unique(cand_pos, return_index=True)
+        dst_cells = self._member[:hw, seq_dst] & (pos >= 0)
         if dst_cells.any():
-            dst_pos = self.pos[dst_cells]
+            dst_pos = pos[dst_cells]
             chosen = cand[first[~np.isin(uniq_pos, dst_pos)]]
         else:
             chosen = cand[first]
@@ -277,8 +302,10 @@ class KVCache:
         self._check_range(p0, p1)
         if not self._col(seq):
             return 0
+        hw = self._high_water
+        pos = self.pos[:hw]
         hit = np.flatnonzero(
-            self._member[:, seq] & (self.pos >= p0) & (self.pos < p1)
+            self._member[:hw, seq] & (pos >= p0) & (pos < p1)
         )
         if hit.size == 0:
             return 0
@@ -378,8 +405,15 @@ class KVCache:
         positions = np.asarray(positions, dtype=np.int64)
         end = self.n_cells if limit is None else min(limit, self.n_cells)
         cols = self._member.shape[1]
-        valid = (seq_ids >= 0) & (seq_ids < cols)
-        member = self._member[:end, np.clip(seq_ids, 0, cols - 1)].T & valid[:, None]
+        if seq_ids.size and 0 <= seq_ids.min() and seq_ids.max() < cols:
+            # Hot path: every query sequence has a column.
+            member = self._member[:end, seq_ids].T
+        else:
+            valid = (seq_ids >= 0) & (seq_ids < cols)
+            member = (
+                self._member[:end, np.clip(seq_ids, 0, cols - 1)].T
+                & valid[:, None]
+            )
         pos = self.pos[:end]
         live = pos >= 0
         if inclusive:

@@ -7,31 +7,105 @@ explicit axis: ``(n_tokens, n_heads, head_dim)``.
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 import numpy as np
 
 
-def rms_norm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+class ScratchArena:
+    """Named, shape-keyed scratch buffers for the hot forward path.
+
+    ``get(name, shape)`` hands back a preallocated C-contiguous buffer,
+    reallocating only when the requested shape (or dtype) changes — so
+    decode batches of the same shape reuse the same memory pass after
+    pass instead of re-allocating every temporary of every layer.
+
+    A buffer is only valid until the next ``get`` with the same name;
+    anything that outlives the arena (activations forwarded downstream,
+    logits kept by the head) must be copied out.  Each concurrent
+    consumer therefore owns its own arena — one per pipeline stage, one
+    per draft plane — which the simulation's cooperative scheduling turns
+    into a safety guarantee: a stage's buffers are never live across a
+    yield.
+    """
+
+    __slots__ = ("_bufs", "n_hits", "n_misses")
+
+    def __init__(self) -> None:
+        self._bufs: dict = {}
+        #: Statistics: shape-stable reuses vs. (re)allocations.
+        self.n_hits = 0
+        self.n_misses = 0
+
+    def get(
+        self, name: str, shape: Tuple[int, ...], dtype=np.float64
+    ) -> np.ndarray:
+        buf = self._bufs.get(name)
+        if buf is not None and buf.shape == shape and buf.dtype == dtype:
+            self.n_hits += 1
+            return buf
+        self.n_misses += 1
+        buf = np.empty(shape, dtype=dtype)
+        self._bufs[name] = buf
+        return buf
+
+
+def rms_norm(
+    x: np.ndarray,
+    weight: np.ndarray,
+    eps: float = 1e-5,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """Root-mean-square layer norm (Llama-style, no mean subtraction).
 
     The mean square is a single einsum contraction (one pass, no squared
     temporary) — this runs twice per layer per decode batch, so the
-    constant factors matter.
+    constant factors matter.  With ``out`` the normalized product is
+    written into a caller-provided buffer using the exact same operation
+    order, so results are bit-identical to the allocating form.
     """
     ms = np.einsum("...d,...d->...", x, x) / x.shape[-1]
     scale = 1.0 / np.sqrt(ms + eps)
-    return x * scale[..., None] * weight
+    if out is None:
+        return x * scale[..., None] * weight
+    np.multiply(x, scale[..., None], out=out)
+    out *= weight
+    return out
 
 
-def silu(x: np.ndarray) -> np.ndarray:
-    """Sigmoid-weighted linear unit."""
-    return x / (1.0 + np.exp(-x))
+def silu(
+    x: np.ndarray,
+    out: Optional[np.ndarray] = None,
+    scratch: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Sigmoid-weighted linear unit.
+
+    With ``out`` (which may alias ``x``) the result is computed with the
+    same elementwise steps into caller buffers; ``scratch`` holds the
+    ``exp(-x)`` intermediate and must not alias ``x`` or ``out``.
+    """
+    if out is None:
+        return x / (1.0 + np.exp(-x))
+    t = scratch if scratch is not None else np.empty_like(x)
+    np.negative(x, out=t)
+    np.exp(t, out=t)
+    t += 1.0
+    np.divide(x, t, out=out)
+    return out
 
 
-def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Numerically stable softmax."""
-    shifted = x - np.max(x, axis=axis, keepdims=True)
-    e = np.exp(shifted)
-    return e / np.sum(e, axis=axis, keepdims=True)
+def softmax(
+    x: np.ndarray, axis: int = -1, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Numerically stable softmax (``out`` may alias ``x``)."""
+    m = x.max(axis=axis, keepdims=True)
+    if out is None:
+        e = np.exp(x - m)
+        return e / e.sum(axis=axis, keepdims=True)
+    np.subtract(x, m, out=out)
+    np.exp(out, out=out)
+    out /= out.sum(axis=axis, keepdims=True)
+    return out
 
 
 def rope_frequencies(head_dim: int, base: float = 10000.0) -> np.ndarray:
@@ -58,17 +132,24 @@ def rope_tables(positions: np.ndarray, freqs: np.ndarray) -> np.ndarray:
     return (np.cos(angles) + 1j * np.sin(angles))[:, None, :]
 
 
-def apply_rope_tables(x: np.ndarray, rot: np.ndarray) -> np.ndarray:
+def apply_rope_tables(
+    x: np.ndarray, rot: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
     """Rotate ``x`` of shape (n, heads, head_dim) with a precomputed table.
 
     Consecutive channel pairs are viewed as complex numbers and rotated
     with one vectorized complex multiply — the same ``x1*cos - x2*sin`` /
     ``x1*sin + x2*cos`` arithmetic as the explicit form, without the
-    strided slice assignments.
+    strided slice assignments.  ``out`` must be a C-contiguous float64
+    buffer of the same shape and may alias ``x`` (in-place rotation).
     """
     if not x.flags.c_contiguous:  # complex view needs contiguous pairs
         x = np.ascontiguousarray(x)
-    return (x.view(np.complex128) * rot).view(np.float64)
+    xc = x.view(np.complex128)
+    if out is None:
+        return (xc * rot).view(np.float64)
+    np.multiply(xc, rot, out=out.view(np.complex128))
+    return out
 
 
 def apply_rope(x: np.ndarray, positions: np.ndarray, freqs: np.ndarray) -> np.ndarray:
@@ -82,9 +163,36 @@ def apply_rope(x: np.ndarray, positions: np.ndarray, freqs: np.ndarray) -> np.nd
     return apply_rope_tables(x, rope_tables(positions, freqs))
 
 
-def swiglu(x: np.ndarray, w_gate: np.ndarray, w_up: np.ndarray, w_down: np.ndarray) -> np.ndarray:
-    """SwiGLU feed-forward: ``silu(x @ Wg) * (x @ Wu) @ Wd``."""
-    return (silu(x @ w_gate) * (x @ w_up)) @ w_down
+def swiglu(
+    x: np.ndarray,
+    w_gate: np.ndarray,
+    w_up: np.ndarray,
+    w_down: np.ndarray,
+    arena: Optional[ScratchArena] = None,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """SwiGLU feed-forward: ``silu(x @ Wg) * (x @ Wu) @ Wd``.
+
+    With ``arena`` the gate/up projections and the silu intermediate live
+    in recycled scratch buffers; every operation is the same BLAS call or
+    elementwise ufunc as the allocating form, so outputs are
+    bit-identical.  ``out`` (requires ``arena``) receives the final
+    down-projection.
+    """
+    if arena is None:
+        return (silu(x @ w_gate) * (x @ w_up)) @ w_down
+    n, ff = x.shape[0], w_gate.shape[1]
+    g = arena.get("swiglu.gate", (n, ff))
+    u = arena.get("swiglu.up", (n, ff))
+    t = arena.get("swiglu.tmp", (n, ff))
+    np.matmul(x, w_gate, out=g)
+    np.matmul(x, w_up, out=u)
+    silu(g, out=g, scratch=t)
+    g *= u
+    if out is None:
+        return g @ w_down
+    np.matmul(g, w_down, out=out)
+    return out
 
 
 def batched_grouped_attention(
@@ -94,6 +202,9 @@ def batched_grouped_attention(
     mask: np.ndarray,
     n_kv_heads: int,
     invisible: "np.ndarray | None" = None,
+    arena: Optional[ScratchArena] = None,
+    key: str = "",
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Masked attention for a whole decode batch over shared cache cells.
 
@@ -113,6 +224,16 @@ def batched_grouped_attention(
         invisible: optional precomputed ``~mask[:, None, None, :]``.  The
             mask is fixed for a whole decode batch, so callers evaluating
             several layers hoist the inversion out of the layer loop.
+        arena: optional scratch arena for the score and output tensors.
+            When given, the returned array is an arena view valid only
+            until the arena's next use — callers must consume (or copy)
+            it before their next attention call.
+        key: arena-name suffix so several attention sub-problems of
+            different shapes (row groups of one batch) keep distinct
+            score buffers instead of thrashing one.
+        out: optional (n_tokens, n_kv_heads, group, head_dim) buffer for
+            the output matmul (e.g. a row slice of a whole-batch
+            activation buffer).
 
     Returns:
         (n_tokens, n_heads, head_dim) attention output per token.
@@ -127,7 +248,13 @@ def batched_grouped_attention(
     # contractions "tkgd,ckd->tkgc" / "tkgc,ckd->tkgd", but dispatched to
     # BLAS, which is several times faster at these shapes).
     qg = q.reshape(n_tokens, n_kv_heads, group, head_dim)
-    scores = np.matmul(qg, k.transpose(1, 2, 0))
+    if arena is None:
+        scores = np.matmul(qg, k.transpose(1, 2, 0))
+    else:
+        scores = arena.get(
+            "attn.scores" + key, (n_tokens, n_kv_heads, group, n_cells)
+        )
+        np.matmul(qg, k.transpose(1, 2, 0), out=scores)
     scores /= np.sqrt(head_dim)
     # Mask and softmax in place: invisible cells are driven to -inf before
     # the shift-exp-normalize, so their weights are exactly zero.  Same
@@ -136,10 +263,21 @@ def batched_grouped_attention(
     if invisible is None:
         invisible = ~mask[:, None, None, :]
     np.copyto(scores, -np.inf, where=invisible)
-    scores -= np.max(scores, axis=-1, keepdims=True)
+    # Method-call forms of max/sum skip the np.* dispatch wrappers —
+    # same reductions, and this runs once per layer per row group.
+    scores -= scores.max(axis=-1, keepdims=True)
     np.exp(scores, out=scores)
-    scores /= np.sum(scores, axis=-1, keepdims=True)
-    out = np.matmul(scores, v.transpose(1, 0, 2))
+    scores /= scores.sum(axis=-1, keepdims=True)
+    if out is None:
+        if arena is None:
+            out = np.matmul(scores, v.transpose(1, 0, 2))
+        else:
+            out = arena.get(
+                "attn.out" + key, (n_tokens, n_kv_heads, group, head_dim)
+            )
+            np.matmul(scores, v.transpose(1, 0, 2), out=out)
+    else:
+        np.matmul(scores, v.transpose(1, 0, 2), out=out)
     return out.reshape(n_tokens, n_heads, head_dim)
 
 

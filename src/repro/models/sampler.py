@@ -28,7 +28,7 @@ def top_prob(logits: LogitsLike) -> float:
     """Probability of the greedy token under softmax."""
     if isinstance(logits, OracleLogits):
         return logits.top_prob
-    shifted = logits - np.max(logits)
+    shifted = logits - logits.max()
     probs = np.exp(shifted)
     probs /= probs.sum()
     return float(probs.max())
@@ -48,7 +48,7 @@ def temperature_sample(
     if temperature <= 0:
         return argmax_token(logits)
     scaled = logits / temperature
-    shifted = scaled - np.max(scaled)
+    shifted = scaled - scaled.max()
     probs = np.exp(shifted)
     probs /= probs.sum()
     return int(rng.choice(len(probs), p=probs))
@@ -56,7 +56,7 @@ def temperature_sample(
 
 def softmax_probs(logits: np.ndarray) -> np.ndarray:
     """Full softmax distribution for dense logits."""
-    shifted = logits - np.max(logits)
+    shifted = logits - logits.max()
     probs = np.exp(shifted)
     return probs / probs.sum()
 

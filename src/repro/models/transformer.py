@@ -23,6 +23,7 @@ import numpy as np
 from repro.comm.payloads import TokenSlot
 from repro.models.kv_cache import KVCache
 from repro.models.layers import (
+    ScratchArena,
     apply_rope_tables,
     batched_grouped_attention,
     rms_norm,
@@ -33,6 +34,14 @@ from repro.models.layers import (
 
 #: RoPE-table cache entries kept per model before the cache is reset.
 _ROPE_CACHE_LIMIT = 512
+
+#: Attention row-chunk size within one run.  Long prefill batches are
+#: causal, so splitting their rows bounds each chunk's visible-cell set
+#: to roughly the cells written so far — skipping most of the masked-out
+#: score/softmax area.  Chunk boundaries are relative to the run start,
+#: so a run is chunked the same way whether it is evaluated alone or
+#: inside a fused window.
+_ATTN_CHUNK = 128
 
 
 @dataclass(frozen=True)
@@ -125,7 +134,8 @@ class TinyTransformer:
     def embed(self, slots: Sequence[TokenSlot]) -> np.ndarray:
         """Input embedding for a batch: shape (n_tokens, d_model)."""
         tokens = [s.token for s in slots]
-        return self.embedding[tokens].copy()
+        # Fancy indexing already materializes a fresh array.
+        return self.embedding[tokens]
 
     def forward_stage(
         self,
@@ -135,6 +145,8 @@ class TinyTransformer:
         layer_range: tuple[int, int],
         cells: Optional[Sequence[int]] = None,
         visible: Optional[np.ndarray] = None,
+        arena: Optional[ScratchArena] = None,
+        row_groups: Optional[Sequence[int]] = None,
     ) -> np.ndarray:
         """Evaluate layers [lo, hi) for a batch against a cache shard.
 
@@ -151,6 +163,19 @@ class TinyTransformer:
                 Fused cross-run batches pass per-run rows snapshotted in
                 transaction order; computed from current cache metadata
                 when omitted.
+            arena: scratch buffers reused across calls of the same batch
+                shape (a private one is made per call when omitted).  The
+                returned activations are always freshly allocated — they
+                travel downstream while the arena is recycled for the
+                next window — and ``hidden`` is never mutated.
+            row_groups: per-run row counts when the batch concatenates
+                several runs (fused windows, batched draft proposals).
+                Attention is evaluated per group over just the cells that
+                group can see — fused cross-request batches mostly attend
+                to disjoint cell sets, so this skips the masked-out bulk
+                of the score area — and each group's math is exactly what
+                the run would compute evaluated on its own.  Default: one
+                group spanning the whole batch.
 
         Returns:
             (n_tokens, d_model) activations leaving the stage.
@@ -172,43 +197,130 @@ class TinyTransformer:
             visible = cache.visible_matrix(
                 [s.primary_seq for s in slots], positions, limit=cache.high_water
             )
-        used = np.flatnonzero(visible.any(axis=0))
-        mask = visible[:, used]
-        invisible = ~mask[:, None, None, :]
         rot = self._rope_tables(positions)
-        h = hidden
+        if arena is None:
+            arena = ScratchArena()
+        n, d, kv = len(slots), cfg.d_model, cfg.kv_dim
+        # Attention plan: one sub-problem per run row-group (further
+        # chunked for long causal runs), each over just the cells its
+        # rows can see.  Masks depend only on cache metadata, never the
+        # layer, so the plan is built once per batch.
+        kdt, vdt = cache.k.dtype, cache.v.dtype
+        kvh, hd = cfg.n_kv_heads, cfg.head_dim
+        group = cfg.n_heads // cfg.n_kv_heads
+        # Residual stream and per-layer temporaries live in the arena;
+        # every operation below is the same BLAS call / ufunc whether the
+        # buffers are recycled or freshly allocated.
+        h = arena.get("stage.h", (n, d))
+        np.copyto(h, hidden)
+        x = arena.get("stage.x", (n, d))
+        tmp = arena.get("stage.tmp", (n, d))
+        q2 = arena.get("stage.q", (n, d))
+        k2 = arena.get("stage.k", (n, kv))
+        v2 = arena.get("stage.v", (n, kv))
+        attn2 = arena.get("stage.attn", (n, d))
+        q = q2.reshape(n, cfg.n_heads, hd)
+        k = k2.reshape(n, kvh, hd)
+        attn4 = attn2.reshape(n, kvh, group, hd)
+        plans = []
+        a = 0
+        for count in (row_groups if row_groups is not None else (n,)):
+            for c0 in range(a, a + count, _ATTN_CHUNK):
+                b = min(c0 + _ATTN_CHUNK, a + count)
+                rows = visible[c0:b]
+                used = np.flatnonzero(rows.any(axis=0))
+                mask = rows[:, used]
+                key = str(len(plans))
+                u = len(used)
+                kc = arena.get("stage.kused" + key, (u, cfg.kv_dim), dtype=kdt)
+                vc = arena.get("stage.vused" + key, (u, cfg.kv_dim), dtype=vdt)
+                # Everything shape-dependent is hoisted out of the layer
+                # loop: transposed K/V views of the gather buffers, the
+                # score buffer, and the query/output row slices.  The
+                # arithmetic below is exactly batched_grouped_attention's,
+                # unrolled so each layer pays only the ufunc/BLAS calls.
+                scores = arena.get(
+                    "attn.scores" + key, (b - c0, kvh, group, u)
+                )
+                plans.append((
+                    used,
+                    ~mask[:, None, None, :],
+                    kc,
+                    vc,
+                    kc.reshape(u, kvh, hd).transpose(1, 2, 0),
+                    vc.reshape(u, kvh, hd).transpose(1, 0, 2),
+                    scores,
+                    q2[c0:b].reshape(b - c0, kvh, group, hd),
+                    attn4[c0:b],
+                ))
+            a += count
+        if a != n:
+            raise ValueError(f"row_groups sum to {a}, batch has {n} tokens")
+        sqrt_hd = np.sqrt(hd)
         for layer in range(lo, hi):
             w = self.layers[layer]
             local = layer - lo
-            x = rms_norm(h, w.attn_norm)
-            q = (x @ w.wq).reshape(len(slots), cfg.n_heads, cfg.head_dim)
-            k = (x @ w.wk).reshape(len(slots), cfg.n_kv_heads, cfg.head_dim)
-            v = x @ w.wv
-            q = apply_rope_tables(q, rot)
-            k = apply_rope_tables(k, rot)
-            cache.write(local, cells, k.reshape(len(slots), cfg.kv_dim), v)
-            attn_out = batched_grouped_attention(
-                q, cache.k[local, used], cache.v[local, used], mask,
-                cfg.n_kv_heads, invisible=invisible,
-            ).reshape(len(slots), cfg.d_model)
-            h = h + attn_out @ self.layers[layer].wo
-            x = rms_norm(h, w.ffn_norm)
-            h = h + swiglu(x, w.w_gate, w.w_up, w.w_down)
-        return h
+            rms_norm(h, w.attn_norm, out=x)
+            np.matmul(x, w.wq, out=q2)
+            np.matmul(x, w.wk, out=k2)
+            np.matmul(x, w.wv, out=v2)
+            apply_rope_tables(q, rot, out=q)
+            apply_rope_tables(k, rot, out=k)
+            cache.write(local, cells, k2, v2)
+            ck, cv = cache.k[local], cache.v[local]
+            for used, inv, kc, vc, kct, vct, scores, qg, og in plans:
+                ck.take(used, axis=0, out=kc)
+                cv.take(used, axis=0, out=vc)
+                np.matmul(qg, kct, out=scores)
+                scores /= sqrt_hd
+                np.copyto(scores, -np.inf, where=inv)
+                scores -= scores.max(axis=-1, keepdims=True)
+                np.exp(scores, out=scores)
+                scores /= scores.sum(axis=-1, keepdims=True)
+                np.matmul(scores, vct, out=og)
+            np.matmul(attn2, w.wo, out=tmp)
+            h += tmp
+            rms_norm(h, w.ffn_norm, out=x)
+            swiglu(x, w.w_gate, w.w_up, w.w_down, arena=arena, out=tmp)
+            h += tmp
+        # The activations leave this stage (and this arena): copy out.
+        return h.copy()
 
-    def output(self, hidden: np.ndarray, want: Optional[Sequence[int]] = None) -> np.ndarray:
-        """Final norm + LM head; ``want`` selects batch rows (default: all)."""
+    def output(
+        self,
+        hidden: np.ndarray,
+        want: Optional[Sequence[int]] = None,
+        arena: Optional[ScratchArena] = None,
+    ) -> np.ndarray:
+        """Final norm + LM head; ``want`` selects batch rows (default: all).
+
+        The returned logits are always freshly allocated (the head keeps
+        them); ``arena`` only recycles the normalized intermediate.
+        """
         h = hidden if want is None else hidden[list(want)]
-        return rms_norm(h, self.final_norm) @ self.lm_head
+        if arena is None:
+            return rms_norm(h, self.final_norm) @ self.lm_head
+        x = arena.get("out.norm", h.shape)
+        rms_norm(h, self.final_norm, out=x)
+        return x @ self.lm_head
 
     # -- single-node convenience --------------------------------------------------
 
-    def decode(self, slots: Sequence[TokenSlot], cache: KVCache) -> np.ndarray:
+    def decode(
+        self,
+        slots: Sequence[TokenSlot],
+        cache: KVCache,
+        arena: Optional[ScratchArena] = None,
+        row_groups: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
         """Full forward pass: logits for every slot with ``want_logits``."""
         hidden = self.embed(slots)
-        hidden = self.forward_stage(hidden, slots, cache, (0, self.cfg.n_layers))
+        hidden = self.forward_stage(
+            hidden, slots, cache, (0, self.cfg.n_layers), arena=arena,
+            row_groups=row_groups,
+        )
         want = [i for i, s in enumerate(slots) if s.want_logits]
-        return self.output(hidden, want)
+        return self.output(hidden, want, arena=arena)
 
 
 def perturbed_copy(model: TinyTransformer, noise: float, seed: int = 1) -> TinyTransformer:

@@ -290,6 +290,7 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
                 process_prefill_logits(engine, ctx, msg.payload)
             else:
                 yield from process_run_logits(engine, ctx, msg.payload)
+            engine.pool.release_logits(msg.payload)
             if not ctx.done and ctx.target_reached():
                 mark_done(ctx)
             if ctx.done and not ctx.fifo:

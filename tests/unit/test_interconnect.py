@@ -78,3 +78,56 @@ def test_catalog_specs():
     assert INFINIBAND_EDR.bandwidth == Gbps(100)
     assert INFINIBAND_QDR.bandwidth == Gbps(40)
     assert INFINIBAND_EDR.latency < GIGABIT_ETHERNET.latency
+
+
+# ---------------------------------------------------------------------------
+# Eager-lane stat split and coalesced delivery (PR 6)
+# ---------------------------------------------------------------------------
+
+
+def test_eager_hint_counters_split_from_size_eager():
+    spec = LinkSpec("t", latency=0.0, bandwidth=1e9, eager_threshold=100)
+    k, link = make_link(spec)
+    link.transmit(50, lambda: None)                      # size-eager
+    link.transmit(5000, lambda: None, eager_hint=True)   # hinted
+    assert link.n_eager_hinted == 1
+    assert link.hinted_bytes == 5000
+    assert link.eager_bytes == 5050  # both rode the eager lane
+    assert link.bulk_bytes == 0
+
+
+def test_infinite_bandwidth_routes_everything_eager():
+    """bandwidth=inf cannot serialize: no bulk stats, busy_until frozen."""
+    spec = LinkSpec("t", latency=1 * us, bandwidth=float("inf"),
+                    eager_threshold=10)
+    k, link = make_link(spec)
+    arrival = link.transmit(1e9, lambda: None)  # far above the threshold
+    assert arrival == 1 * us
+    assert link.bulk_bytes == 0
+    assert link.eager_bytes == 1e9
+    assert link.busy_until == 0.0
+
+
+def test_same_instant_arrivals_share_one_delivery_event():
+    spec = LinkSpec("t", latency=10 * us, bandwidth=float("inf"))
+    k, link = make_link(spec)
+    order = []
+    for i in range(5):
+        link.transmit(100, lambda i=i: order.append(i))
+    before = k.n_events
+    k.run()
+    assert order == [0, 1, 2, 3, 4]  # transmit order within the instant
+    assert link.n_messages == 5
+    assert link.n_delivery_events == 1
+    assert k.n_events - before == 1  # one kernel event drained all five
+
+
+def test_distinct_arrivals_use_distinct_delivery_events():
+    spec = LinkSpec("t", latency=0.0, bandwidth=1e6, eager_threshold=10)
+    k, link = make_link(spec)
+    seen = []
+    link.transmit(1e6, lambda: seen.append("a"))  # bulk: arrives at 1s
+    link.transmit(1e6, lambda: seen.append("b"))  # serializes: arrives at 2s
+    k.run()
+    assert seen == ["a", "b"]
+    assert link.n_delivery_events == 2

@@ -1,0 +1,200 @@
+"""Calendar-queue kernel vs the retained heap kernel: ordering and edges.
+
+The calendar kernel's determinism contract is that execution order is
+exactly ascending ``(time, seq)`` — byte-identical to the pre-PR heap
+kernel retained as :class:`ReferenceSimKernel`.  The differential property
+test here replays random event storms (delays, futures resolved by timers,
+plain callbacks, mid-run spawns) on both kernels and asserts the full
+execution traces match.  The edge tests pin the horizon-resume fix,
+past-scheduling errors, and cumulative ``max_events`` accounting.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster.kernel import (
+    Delay,
+    ReferenceSimKernel,
+    SimError,
+    SimKernel,
+)
+
+KERNELS = [SimKernel, ReferenceSimKernel]
+
+
+# ---------------------------------------------------------------------------
+# Differential ordering property test
+# ---------------------------------------------------------------------------
+
+
+#: Candidate delays: heavy on zero and near-ties so same-instant ordering
+#: (the FIFO/calendar split) is exercised hard, plus spread-out values so
+#: the calendar's bucket advance and rescale paths run.
+_DELAYS = (0.0, 0.0, 1e-9, 1e-6, 1e-6, 3e-6, 1e-4, 7e-4, 0.05, 2.0)
+
+
+def _storm_trace(kernel_cls, seed: int, n_procs: int = 6, n_steps: int = 40):
+    """Run one seeded random program; return its full execution trace."""
+    kernel = kernel_cls()
+    trace = []
+
+    def proc(pid: int):
+        r = random.Random(seed * 1009 + pid)
+        for step in range(n_steps):
+            trace.append(("step", pid, step, kernel.now))
+            roll = r.random()
+            if roll < 0.40:
+                yield Delay(r.choice(_DELAYS))
+            elif roll < 0.70:
+                # Park on a future a timer resolves (possibly at-now).
+                fut = kernel.future(f"f{pid}.{step}")
+                kernel.call_after(
+                    r.choice(_DELAYS),
+                    lambda f=fut, p=pid, s=step: (
+                        trace.append(("resolve", p, s, kernel.now)),
+                        f.resolve((p, s)),
+                    ),
+                )
+                value = yield fut
+                assert value == (pid, step)
+            elif roll < 0.90:
+                # Fire-and-forget callback, then a short delay.
+                kernel.call_at(
+                    kernel.now + r.choice(_DELAYS),
+                    lambda p=pid, s=step: trace.append(("cb", p, s, kernel.now)),
+                )
+                yield Delay(r.choice(_DELAYS))
+            else:
+                # Spawn a short-lived child mid-run.
+                def child(p=pid, s=step):
+                    trace.append(("child", p, s, kernel.now))
+                    yield Delay(r.choice(_DELAYS))
+                    trace.append(("child-done", p, s, kernel.now))
+
+                kernel.spawn(child(), f"child{pid}.{step}")
+                yield Delay(r.choice(_DELAYS))
+        trace.append(("done", pid, n_steps, kernel.now))
+
+    procs = [kernel.spawn(proc(i), f"p{i}") for i in range(n_procs)]
+    kernel.run()
+    assert not any(p.alive for p in procs)
+    return trace
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_storms_replay_identically_on_both_kernels(seed):
+    new = _storm_trace(SimKernel, seed)
+    ref = _storm_trace(ReferenceSimKernel, seed)
+    assert new == ref
+
+
+def test_same_time_burst_larger_than_a_calendar_run_keeps_seq_order():
+    """>512 entries at one instant forces a calendar rescale mid-storm."""
+    kernel = SimKernel()
+    fired = []
+    t = 1.0
+    for i in range(1300):
+        kernel.call_at(t, lambda i=i: fired.append(i))
+    kernel.run()
+    assert fired == list(range(1300))
+    assert kernel.now == t
+
+
+# ---------------------------------------------------------------------------
+# Horizon semantics (the run(until=...) fix)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kernel_cls", KERNELS)
+def test_event_past_horizon_survives_into_the_next_run(kernel_cls):
+    """The pre-fix kernel popped-and-dropped the first event past ``until``."""
+    kernel = kernel_cls()
+    fired = []
+    kernel.call_at(1.0, lambda: fired.append(1.0))
+    kernel.call_at(2.0, lambda: fired.append(2.0))
+    kernel.run(until=1.5)
+    assert fired == [1.0]
+    assert kernel.now == 1.5
+    kernel.run()
+    assert fired == [1.0, 2.0]
+    assert kernel.now == 2.0
+
+
+@pytest.mark.parametrize("kernel_cls", KERNELS)
+def test_event_exactly_at_horizon_fires(kernel_cls):
+    kernel = kernel_cls()
+    fired = []
+    kernel.call_at(1.5, lambda: fired.append("at"))
+    kernel.run(until=1.5)
+    assert fired == ["at"]
+
+
+def test_resuming_across_many_horizons_matches_a_single_run():
+    """Chopping one storm into horizon windows must not change the trace."""
+    def build(kernel):
+        trace = []
+
+        def ticker():
+            for i in range(20):
+                trace.append((kernel.now, i))
+                yield Delay(0.3)
+
+        kernel.spawn(ticker(), "t")
+        return trace
+
+    whole = SimKernel()
+    trace_whole = build(whole)
+    whole.run()
+
+    chopped = SimKernel()
+    trace_chopped = build(chopped)
+    horizon = 0.0
+    while True:
+        horizon += 0.7
+        chopped.run(until=horizon)
+        if not chopped.alive_processes():
+            chopped.run()
+            break
+    assert trace_chopped == trace_whole
+
+
+# ---------------------------------------------------------------------------
+# call_at in the past / max_events accounting
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kernel_cls", KERNELS)
+def test_call_at_in_the_past_raises(kernel_cls):
+    kernel = kernel_cls()
+    kernel.call_at(1.0, lambda: kernel.call_at(0.5, lambda: None))
+    with pytest.raises(SimError, match="cannot schedule in the past"):
+        kernel.run()
+
+
+@pytest.mark.parametrize("kernel_cls", KERNELS)
+def test_max_events_counts_cumulatively_across_runs(kernel_cls):
+    kernel = kernel_cls()
+    fired = []
+    for i in range(4):
+        kernel.call_at(float(i + 1), lambda i=i: fired.append(i))
+    kernel.run(until=2.5, max_events=10)
+    assert fired == [0, 1]
+    assert kernel.n_events == 2
+    # The budget is cumulative: two events are already on the meter, so a
+    # limit of 3 admits exactly one more.  The meter also counts the
+    # over-budget event it rejects (both kernels agree on this).
+    with pytest.raises(SimError, match="max_events"):
+        kernel.run(max_events=3)
+    assert fired == [0, 1, 2]
+    assert kernel.n_events == 4
+
+
+def test_max_events_exact_budget_completes():
+    kernel = SimKernel()
+    fired = []
+    for i in range(5):
+        kernel.call_at(1e-3 * (i + 1), lambda i=i: fired.append(i))
+    kernel.run(max_events=5)
+    assert fired == list(range(5))
+    assert kernel.n_events == 5

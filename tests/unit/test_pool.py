@@ -1,0 +1,107 @@
+"""TransactionPool free-list semantics and the no-aliasing invariant.
+
+The recycling property test at the bottom runs the full engine stack with
+the debug pool (every record branded with a liveness flag): any release of
+a still-reachable record, double release, or hand-out of a live record
+raises :class:`PoolError` inside the run, and the generated tokens must be
+unchanged — pooling is invisible to simulated outcomes.
+"""
+
+import pytest
+
+from repro import (
+    EngineConfig,
+    FunctionalBackend,
+    GenerationJob,
+    PipeInferEngine,
+    TinyTransformer,
+    TransformerConfig,
+    cluster_c,
+    run_engine,
+)
+from repro.comm.pool import PoolError, TransactionPool
+from repro.models.transformer import perturbed_copy
+from repro.spec.draft import DraftParams
+
+
+def test_release_then_acquire_recycles_the_same_object():
+    pool = TransactionPool()
+    act = pool.acquire_activations(run_id=1, nbytes=10.0, hidden="h")
+    pool.release_activations(act)
+    again = pool.acquire_activations(run_id=2, nbytes=20.0)
+    assert again is act
+    assert again.run_id == 2
+    assert again.nbytes == 20.0
+    assert again.hidden is None  # release dropped the tensor reference
+    assert pool.n_allocated == 1
+    assert pool.n_reused == 1
+
+
+def test_release_drops_payload_references():
+    pool = TransactionPool()
+    payload = pool.acquire_logits(run_id=1, logits=[1, 2, 3], nbytes=3.0)
+    pool.release_logits(payload)
+    assert payload.logits is None
+    fb = pool.acquire_fused_batch()
+    fb.items.append("x")
+    pool.release_fused_batch(fb)
+    assert fb.items == []
+    assert pool.acquire_fused_batch() is fb
+
+
+def test_debug_double_release_raises():
+    pool = TransactionPool(debug=True)
+    act = pool.acquire_activations(run_id=1, nbytes=1.0)
+    pool.release_activations(act)
+    with pytest.raises(PoolError, match="released twice"):
+        pool.release_activations(act)
+
+
+def test_debug_live_record_in_free_list_raises():
+    pool = TransactionPool(debug=True)
+    act = pool.acquire_activations(run_id=1, nbytes=1.0)
+    # Simulate an aliasing bug: the record lands on the free list while
+    # still live (never released).
+    pool._acts.append(act)
+    with pytest.raises(PoolError, match="still marked live"):
+        pool.acquire_activations(run_id=2, nbytes=2.0)
+
+
+def test_debug_mode_via_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_POOL_DEBUG", "1")
+    assert TransactionPool().debug
+    monkeypatch.delenv("REPRO_POOL_DEBUG")
+    assert not TransactionPool().debug
+
+
+# ---------------------------------------------------------------------------
+# Recycling property test: the full engine under the debug pool
+# ---------------------------------------------------------------------------
+
+
+MODEL_CFG = TransformerConfig(
+    vocab=128, d_model=32, n_layers=4, n_heads=4, n_kv_heads=2, d_ff=64, seed=7
+)
+ENGINE_CFG = EngineConfig(
+    draft=DraftParams(max_tokens=4, cutoff=0.02),
+    cutoff_recovery=0.01,
+    cutoff_decay=0.01,
+)
+
+
+def _run_job(n_generate=16):
+    target = TinyTransformer(MODEL_CFG)
+    draft = perturbed_copy(target, noise=0.15, seed=9)
+    backend = FunctionalBackend(target, draft, n_cells=1024)
+    prompt = list(range(1, 25))
+    job = GenerationJob(prompt=prompt, n_generate=n_generate)
+    return run_engine(PipeInferEngine, backend, cluster_c(4), job, ENGINE_CFG)
+
+
+def test_engine_run_under_debug_pool_recycles_without_aliasing(monkeypatch):
+    """No live record is ever reused across a full speculative run."""
+    report_plain = _run_job()
+    monkeypatch.setenv("REPRO_POOL_DEBUG", "1")
+    report_debug = _run_job()
+    # Debug branding is invisible to simulated outcomes.
+    assert report_debug.tokens == report_plain.tokens
