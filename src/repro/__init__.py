@@ -41,6 +41,13 @@ from repro.engines import (
     SpeculativeEngine,
     run_engine,
 )
+from repro.faults import (
+    CrashSpec,
+    FaultInjector,
+    FaultPlan,
+    LinkFault,
+    StragglerSpec,
+)
 from repro.metrics import EngineReport, RequestReport, ServingReport
 from repro.serve import Workload, make_workload, run_serving
 from repro.models import (
@@ -76,6 +83,11 @@ __all__ = [
     "SpeculativeEngine",
     "run_engine",
     "run_serving",
+    "CrashSpec",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFault",
+    "StragglerSpec",
     "Workload",
     "make_workload",
     "EngineReport",

@@ -57,6 +57,31 @@ class SimError(RuntimeError):
     """Raised for kernel misuse (bad yields, double resolution, deadlock)."""
 
 
+class StuckSimulationError(SimError):
+    """Raised when the event queues drain while processes are still parked.
+
+    Subclasses :class:`SimError` so existing ``except SimError`` handlers and
+    tests keep working; the message names each blocked process and what it
+    is waiting on (the parked future's label, plus the receive's source/tag
+    when the communication layer attached that detail).
+    """
+
+    def __init__(self, stuck: list) -> None:
+        self.stuck = stuck
+        lines = []
+        for proc in stuck:
+            fut = getattr(proc, "waiting_on", None)
+            if fut is None:
+                what = "unknown (never parked on a future)"
+            else:
+                what = fut.detail or f"future {fut.label!r}"
+            lines.append(f"{proc.name!r} waiting on {what}")
+        super().__init__(
+            "deadlock: processes never completed: "
+            + "; ".join(lines)
+        )
+
+
 class Delay:
     """Yielded by a process to advance its local time by ``duration`` seconds."""
 
@@ -80,7 +105,7 @@ class Future:
     value is stored and a subsequent yield returns immediately.
     """
 
-    __slots__ = ("_kernel", "resolved", "value", "_waiter", "label")
+    __slots__ = ("_kernel", "resolved", "value", "_waiter", "label", "detail")
 
     def __init__(self, kernel: "SimKernel", label: str = "") -> None:
         self._kernel = kernel
@@ -88,6 +113,10 @@ class Future:
         self.value: Any = None
         self._waiter: Optional["Process"] = None
         self.label = label
+        #: Optional human-readable description of what resolving this future
+        #: means (e.g. ``"recv(source=0, tag=5)"``) — surfaced by
+        #: :class:`StuckSimulationError` when a deadlock is diagnosed.
+        self.detail: Optional[str] = None
 
     def resolve(self, value: Any = None) -> None:
         """Resolve with ``value``; wakes the waiter (if any) at sim-now."""
@@ -116,7 +145,10 @@ class Future:
 class Process:
     """A running generator coroutine inside the kernel."""
 
-    __slots__ = ("gen", "name", "alive", "result", "exception", "_resume_plain")
+    __slots__ = (
+        "gen", "name", "alive", "result", "exception", "_resume_plain",
+        "waiting_on",
+    )
 
     def __init__(self, gen: ProcessGen, name: str) -> None:
         self.gen = gen
@@ -124,6 +156,11 @@ class Process:
         self.alive = True
         self.result: Any = None
         self.exception: Optional[BaseException] = None
+        #: The last unresolved Future this process parked on.  Only written
+        #: on the park path (never per-Delay), so the hot loop is untouched;
+        #: at deadlock-diagnosis time an alive process with drained queues
+        #: is necessarily parked on its most recent future.
+        self.waiting_on: Optional[Future] = None
         #: Cached value-less resume closure — used only by
         #: :class:`ReferenceSimKernel` (the calendar kernel schedules tuple
         #: events and needs no closures).
@@ -470,6 +507,8 @@ class SimKernel:
                 # Already resolved: resume immediately with the stored value.
                 self._seq += 1
                 self._fifo.append((self._seq, proc, yielded.value))
+            else:
+                proc.waiting_on = yielded
         else:
             proc.alive = False
             raise SimError(
@@ -561,6 +600,8 @@ class ReferenceSimKernel:
         elif isinstance(yielded, Future):
             if yielded._park(proc):
                 self._schedule_resume(proc, yielded.value)
+            else:
+                proc.waiting_on = yielded
         else:
             proc.alive = False
             raise SimError(
@@ -572,10 +613,12 @@ def run_to_completion(kernel: SimKernel, procs: Iterable[Process], max_events: i
     """Run the kernel and assert the given processes all finished.
 
     Raises:
-        SimError: if any of ``procs`` is still alive when the queues drain —
-            the signature of a deadlock (e.g. a receive no send matches).
+        StuckSimulationError: if any of ``procs`` is still alive when the
+            queues drain — the signature of a deadlock (e.g. a receive no
+            send matches).  The message names each blocked process and what
+            it is waiting on (parked-future label, receive source/tag).
     """
     kernel.run(max_events=max_events)
-    stuck = [p.name for p in procs if p.alive]
+    stuck = [p for p in procs if p.alive]
     if stuck:
-        raise SimError(f"deadlock: processes never completed: {stuck}")
+        raise StuckSimulationError(stuck)

@@ -10,7 +10,7 @@ lazily.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.hardware import NodeSpec
 from repro.cluster.interconnect import Link, LinkSpec, LOOPBACK
@@ -24,16 +24,30 @@ class Cluster:
         name: testbed name (``"A"``, ``"B"``, ``"C"``, ``"gpu"`` ...).
         nodes: node specifications, index == rank.
         link_spec: interconnect used between distinct nodes.
+        link_overrides: optional per-ordered-pair link specs — lets a
+            heterogeneous topology (e.g. a cloud-edge WAN hop between two
+            otherwise LAN-connected stages) override the uniform spec.
     """
 
-    def __init__(self, name: str, nodes: Sequence[NodeSpec], link_spec: LinkSpec) -> None:
+    def __init__(
+        self,
+        name: str,
+        nodes: Sequence[NodeSpec],
+        link_spec: LinkSpec,
+        link_overrides: Optional[Dict[Tuple[int, int], LinkSpec]] = None,
+    ) -> None:
         if not nodes:
             raise ValueError("cluster needs at least one node")
         self.name = name
         self.nodes: List[NodeSpec] = list(nodes)
         self.link_spec = link_spec
+        self.link_overrides: Dict[Tuple[int, int], LinkSpec] = dict(link_overrides or {})
         self._kernel: SimKernel | None = None
         self._links: Dict[Tuple[int, int], Link] = {}
+        #: Optional hook replacing plain Link construction — the fault
+        #: injector installs one to wrap faulty pairs.  Reset on every
+        #: ``bind`` so a cluster reused across simulations starts clean.
+        self._link_factory: Optional[Callable[[SimKernel, LinkSpec, int, int], Link]] = None
 
     @property
     def size(self) -> int:
@@ -43,6 +57,7 @@ class Cluster:
         """Attach this topology to a simulation kernel (fresh link state)."""
         self._kernel = kernel
         self._links = {}
+        self._link_factory = None
         return self
 
     def link(self, src: int, dst: int) -> Link:
@@ -55,8 +70,15 @@ class Cluster:
         key = (src, dst)
         found = self._links.get(key)
         if found is None:
-            spec = LOOPBACK if src == dst else self.link_spec
-            found = Link(self._kernel, spec)
+            if src == dst:
+                spec = LOOPBACK
+            else:
+                spec = self.link_overrides.get(key, self.link_spec)
+            factory = self._link_factory
+            if factory is None:
+                found = Link(self._kernel, spec)
+            else:
+                found = factory(self._kernel, spec, src, dst)
             self._links[key] = found
         return found
 
@@ -64,7 +86,12 @@ class Cluster:
         """A cluster using only the first ``n`` nodes (paper's node sweeps)."""
         if not 1 <= n <= self.size:
             raise ValueError(f"cannot take {n} nodes from cluster of {self.size}")
-        return Cluster(f"{self.name}[{n}]", self.nodes[:n], self.link_spec)
+        overrides = {
+            pair: spec
+            for pair, spec in self.link_overrides.items()
+            if pair[0] < n and pair[1] < n
+        }
+        return Cluster(f"{self.name}[{n}]", self.nodes[:n], self.link_spec, overrides)
 
     def total_ram(self) -> float:
         """Aggregate RAM across nodes, bytes."""

@@ -117,6 +117,7 @@ class Endpoint:
         if msg is not None:
             return msg
         fut = self._net.kernel.future(f"recv@{self.rank}")
+        fut.detail = f"recv(source={source}, tag={tag}) at rank {self.rank}"
         self._pending.append(_RecvRequest(source, tag, fut, consume=True))
         msg = yield fut
         return msg
@@ -129,6 +130,7 @@ class Endpoint:
         if msg is not None:
             return msg
         fut = self._net.kernel.future(f"probe@{self.rank}")
+        fut.detail = f"probe(source={source}, tag={tag}) at rank {self.rank}"
         self._pending.append(_RecvRequest(source, tag, fut, consume=False))
         msg = yield fut
         return msg
@@ -193,9 +195,19 @@ class Endpoint:
         """Called by the network at arrival time: enforce ordering, match."""
         key = (msg.src, msg.tag)
         expected = self._expected.get(key, 0)
+        reliable = self._net._reliable
         if msg.seq != expected:
-            # Early arrival (eager lane overtook bulk): stash until in order.
-            self._stash.setdefault(key, {})[msg.seq] = msg
+            if msg.seq < expected:
+                # Stale duplicate: a retransmit raced its original (or a
+                # restarted endpoint already advanced past it).  Drop it and
+                # re-ack the watermark so the sender stops retransmitting.
+                if reliable is not None:
+                    reliable.on_accept(msg.src, self.rank, msg.tag, expected)
+                return
+            # Early arrival (eager lane overtook bulk, or a predecessor was
+            # lost): stash until in order.  ``setdefault`` keeps the first
+            # copy if a duplicate of a stashed seq arrives.
+            self._stash.setdefault(key, {}).setdefault(msg.seq, msg)
             return
         self._make_available(msg)
         # Drain any stashed successors that are now in order.
@@ -206,6 +218,29 @@ class Endpoint:
             if msg2 is None:
                 break
             self._make_available(msg2)
+        if reliable is not None:
+            reliable.on_accept(msg.src, self.rank, msg.tag, self._expected[key])
+
+    def reset_after_crash(self) -> None:
+        """Forget all communication state after the owning rank crashes.
+
+        Pending receives, stashed arrivals, and undelivered available
+        messages die with the process.  The expected sequence numbers jump
+        forward to the *sender-side* counters, so every pre-crash in-flight
+        message (including retransmits of lost ones) arrives stale, is
+        dropped, and is cumulatively re-acked — the sender's retransmit
+        queue self-cleans.  Messages sent after the reset are delivered to
+        the restarted process in order, as usual.
+        """
+        self._available.clear()
+        self._stash.clear()
+        self._pending.clear()
+        self._arrival_watchers.clear()
+        self._n_avail.clear()
+        net = self._net
+        for (src, dst, tag), seq in net._seq.items():
+            if dst == self.rank:
+                self._expected[(src, tag)] = seq
 
     def _make_available(self, msg: Message) -> None:
         key = (msg.src, msg.tag)
@@ -242,6 +277,10 @@ class Network:
         self.endpoints = [Endpoint(self, r) for r in range(self.size)]
         #: Sender-side sequence counters per (src, dst, tag).
         self._seq: Dict[Tuple[int, int, int], int] = {}
+        #: Optional reliability layer (ack + retransmit watchdogs).  Stays
+        #: ``None`` unless a fault plan installs one, so the no-fault hot
+        #: path pays a single attribute check per send/delivery.
+        self._reliable: Optional[Any] = None
         #: Aggregate statistics.
         self.n_sent = 0
         self.bytes_sent = 0.0
@@ -270,4 +309,6 @@ class Network:
         self.bytes_sent += nbytes
         link = self.cluster.link(src, dst)
         link.transmit(nbytes, lambda: self.endpoints[dst]._deliver(msg), eager_hint=eager)
+        if self._reliable is not None:
+            self._reliable.on_send(msg, nbytes, eager)
         return msg

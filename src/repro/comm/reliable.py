@@ -1,0 +1,154 @@
+"""Ack + retransmit reliability layer over the simulated MPI network.
+
+The base :class:`~repro.comm.mpi_sim.Network` assumes links never lose
+messages; under a fault plan they do.  This module adds the classic
+sender-side watchdog machinery on top of the existing sequence-numbered
+delivery:
+
+- every application send arms a retransmission timer (``rto`` seconds,
+  doubling per retry — exponential backoff);
+- the receiver acknowledges with a **cumulative watermark** (the next
+  sequence number it expects for that ``(src, dst, tag)`` stream) whenever
+  in-order delivery advances, and re-acks when a stale duplicate arrives;
+- an un-acked send is retransmitted over the same link as the original
+  (fresh loss draw on a faulty link), preserving its original sequence
+  number so the receiver's non-overtaking logic either slots it in or
+  drops it as a duplicate;
+- acks ride the reverse link's eager lane as raw delivery callbacks — they
+  are not :class:`~repro.comm.message.Message` instances, so they consume
+  no sequence numbers and cannot themselves trigger retransmission.  A lost
+  ack is covered by the data retransmit + stale-drop + re-ack cycle.
+
+The layer is installed by :class:`repro.faults.FaultInjector` only when the
+fault plan can lose messages (link faults or worker crashes); fault-free
+simulations never construct it, keeping the hot path to a single ``is
+None`` check per send and delivery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.cluster.kernel import SimError, SimKernel
+
+#: Modeled wire size of an acknowledgment (a header-only control frame).
+ACK_NBYTES = 64.0
+
+_StreamKey = Tuple[int, int, int]  # (src, dst, tag)
+
+
+class _Entry:
+    """One in-flight (un-acked) send awaiting its watchdog."""
+
+    __slots__ = ("msg", "nbytes", "eager", "rto", "tries", "acked")
+
+    def __init__(self, msg, nbytes: float, eager: bool, rto: float) -> None:
+        self.msg = msg
+        self.nbytes = nbytes
+        self.eager = eager
+        self.rto = rto
+        self.tries = 0
+        self.acked = False
+
+
+class ReliableTransport:
+    """Sender-side retransmit queues plus receiver-side cumulative acks."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        network,
+        rto: float,
+        max_retries: int,
+        stats,
+        health=None,
+    ) -> None:
+        self.kernel = kernel
+        self.net = network
+        self.rto = rto
+        self.max_retries = max_retries
+        self.stats = stats
+        self.health = health
+        #: Un-acked sends per stream, keyed by sequence number.
+        self._unacked: Dict[_StreamKey, Dict[int, _Entry]] = {}
+        #: Highest cumulative ack watermark seen per stream: every send with
+        #: ``seq < watermark`` is known delivered.
+        self._acked: Dict[_StreamKey, int] = {}
+
+    # -- sender side ---------------------------------------------------------
+
+    def on_send(self, msg, nbytes: float, eager: bool) -> None:
+        """Track a fresh application send and arm its watchdog."""
+        if msg.src == msg.dst:
+            return  # loopback cannot lose messages
+        key = (msg.src, msg.dst, msg.tag)
+        entry = _Entry(msg, nbytes, eager, self.rto)
+        self._unacked.setdefault(key, {})[msg.seq] = entry
+        self.kernel.call_after(entry.rto, lambda: self._check(key, entry))
+
+    def _check(self, key: _StreamKey, entry: _Entry) -> None:
+        """Watchdog: retransmit if the entry is still below the watermark."""
+        if entry.acked:
+            return
+        if self._acked.get(key, 0) > entry.msg.seq:
+            entry.acked = True
+            pend = self._unacked.get(key)
+            if pend is not None:
+                pend.pop(entry.msg.seq, None)
+            return
+        if entry.tries >= self.max_retries:
+            raise SimError(
+                f"message (src={key[0]}, dst={key[1]}, tag={key[2]}, "
+                f"seq={entry.msg.seq}) unacknowledged after "
+                f"{entry.tries} retransmissions"
+            )
+        entry.tries += 1
+        self.stats.timeouts += 1
+        self.stats.retransmits += 1
+        if self.health is not None:
+            self.health.record_fault(self.kernel.now, key[1])
+        msg = entry.msg
+        link = self.net.cluster.link(msg.src, msg.dst)
+        link.transmit(
+            entry.nbytes,
+            lambda: self.net.endpoints[msg.dst]._deliver(msg),
+            eager_hint=entry.eager,
+        )
+        entry.rto *= 2.0
+        self.kernel.call_after(entry.rto, lambda: self._check(key, entry))
+
+    # -- receiver side -------------------------------------------------------
+
+    def on_accept(self, src: int, dst: int, tag: int, watermark: int) -> None:
+        """Receiver accepted (or stale-dropped) up to ``watermark``; ack it.
+
+        The ack travels the reverse link's eager lane as a raw callback so
+        it is subject to that link's faults but never consumes a stream
+        sequence number.
+        """
+        if src == dst:
+            return
+        key = (src, dst, tag)
+        link = self.net.cluster.link(dst, src)
+        link.transmit(
+            ACK_NBYTES,
+            lambda: self._on_ack(key, watermark),
+            eager_hint=True,
+        )
+
+    def _on_ack(self, key: _StreamKey, watermark: int) -> None:
+        cur = self._acked.get(key, 0)
+        if watermark > cur:
+            self._acked[key] = cur = watermark
+        pend = self._unacked.get(key)
+        if pend:
+            done = [seq for seq in pend if seq < cur]
+            for seq in done:
+                pend[seq].acked = True
+                del pend[seq]
+
+    # -- introspection -------------------------------------------------------
+
+    def n_unacked(self) -> int:
+        """Total sends still awaiting acknowledgment (testing aid)."""
+        return sum(len(pend) for pend in self._unacked.values())

@@ -184,6 +184,33 @@ def dispatch_prefill(engine, ctx: RequestContext, start_pos: int = 0) -> RunReco
     return rec
 
 
+def dispatch_reprefill(engine, ctx: RequestContext, start_pos: int = 0) -> RunRecord:
+    """Rebuild a request's canonical KV from its *verified* token stream.
+
+    Crash recovery: a restarted worker comes back with an empty KV shard,
+    so every live request re-runs its accepted tokens (prompt plus already
+    verified output) through the pipeline as a fresh prefill.  Greedy
+    decoding depends only on the token prefix, so the logits this run
+    returns sample exactly the token the lost in-flight runs would have
+    produced — recovery changes timing, never output.
+
+    ``start_pos`` skips a prefix the prefix cache re-materialized (warm
+    recovery, metadata-KV backends only); the tail is never empty because
+    matches are capped below the stream length.
+    """
+    rec = RunRecord(
+        engine.new_run_id(),
+        RunKind.PREFILL,
+        list(ctx.accepted[start_pos:]),
+        start_pos,
+        ctx.kv.canonical,
+    )
+    states = engine.backend.slot_states(ctx.chain, start_pos, len(rec.tokens))
+    send_record(engine, rec, states, want_all_logits=False)
+    track_dispatch(engine, ctx, rec)
+    return rec
+
+
 def process_prefill_logits(engine, ctx: RequestContext, payload) -> None:
     """Sample the first token from a prefill run's logits (serving mode)."""
     first = argmax_token(payload.logits[0])

@@ -163,6 +163,13 @@ class Backend(ABC):
     vocab: int
     n_target_layers: int
 
+    #: True when worker KV shards hold only placement metadata and token
+    #: values are derived head-side (the oracle backend): a crashed worker
+    #: then loses no numerics, so crash recovery may re-materialize prompt
+    #: prefixes from the prefix cache.  The functional backend's shards
+    #: hold real tensors, so recovery must cold re-prefill from tokens.
+    kv_is_metadata = False
+
     # -- head side: chain and drafting ---------------------------------------
 
     @abstractmethod
@@ -726,6 +733,8 @@ class FunctionalBackend(Backend):
 
 class OracleBackend(Backend):
     """Performance backend: oracle logits, analytic per-layer timing."""
+
+    kv_is_metadata = True
 
     def __init__(
         self,

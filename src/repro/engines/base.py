@@ -179,6 +179,14 @@ class BaseEngine(ABC):
         #: Per-request reports, populated by the serving heads.
         self.request_reports: List = []
         self._next_run_id = 0
+        #: Fault plumbing — populated only by :mod:`repro.faults` runs.
+        #: ``injector`` stays None on fault-free simulations; the serving
+        #: head polls ``_fault_events`` (worker restarts awaiting recovery)
+        #: with a single falsy check per loop iteration.
+        self.injector = None
+        self._fault_events: List[Tuple[str, int]] = []
+        self._worker_procs: dict = {}
+        self._procs: List = []
         #: Free lists for the transaction plane's per-message records,
         #: shared by the head and every worker of this engine (payloads
         #: travel by reference, so one host-level pool is correct).
@@ -213,12 +221,12 @@ class BaseEngine(ABC):
 
     def _spawn_workers(self, kernel: SimKernel):
         """Spawn the pipeline worker processes (everything but the head)."""
-        from repro.engines.worker import pipeline_worker  # cycle avoidance
-
         ranks = self.target_ranks()
         parts = self.partition()
         procs = []
+        self._kernel = kernel
         self._worker_states = {}
+        self._worker_procs = {}
         for i, rank in enumerate(ranks):
             first = i == 0
             last = i == len(ranks) - 1
@@ -226,32 +234,61 @@ class BaseEngine(ABC):
             self._worker_states[rank] = ws
             if rank == self.head_rank():
                 continue  # the head drives its own stage inline
-            upstream = ranks[i - 1] if i > 0 else self.head_rank()
-            downstream = ranks[i + 1] if i + 1 < len(ranks) else None
-            procs.append(
-                kernel.spawn(
-                    pipeline_worker(
-                        net=self.net,
-                        rank=rank,
-                        upstream=upstream,
-                        downstream=downstream,
-                        head_rank=self.head_rank(),
-                        backend=self.backend,
-                        ws=ws,
-                        node=self.cluster.nodes[rank],
-                        metrics=self.metrics,
-                        max_fuse=self.config.max_fused_runs,
-                        pool=self.pool,
-                    ),
-                    name=f"worker-{rank}",
-                )
-            )
+            proc = self._spawn_worker_proc(kernel, i, rank, ws)
+            self._worker_procs[rank] = proc
+            procs.append(proc)
         return procs
+
+    def _spawn_worker_proc(self, kernel: SimKernel, i: int, rank: int, ws):
+        """Spawn one pipeline-worker process for stage index ``i``."""
+        from repro.engines.worker import pipeline_worker  # cycle avoidance
+
+        ranks = self.target_ranks()
+        upstream = ranks[i - 1] if i > 0 else self.head_rank()
+        downstream = ranks[i + 1] if i + 1 < len(ranks) else None
+        return kernel.spawn(
+            pipeline_worker(
+                net=self.net,
+                rank=rank,
+                upstream=upstream,
+                downstream=downstream,
+                head_rank=self.head_rank(),
+                backend=self.backend,
+                ws=ws,
+                node=self.cluster.nodes[rank],
+                metrics=self.metrics,
+                max_fuse=self.config.max_fused_runs,
+                pool=self.pool,
+                injector=self.injector,
+            ),
+            name=f"worker-{rank}",
+        )
+
+    def respawn_worker(self, rank: int):
+        """Bring a crashed worker back with a fresh process and empty KV.
+
+        The stage's worker state is rebuilt from scratch (the crash lost the
+        in-memory KV shard), the replacement process joins the liveness set
+        tracked by ``run_to_completion``, and the serving head is expected
+        to re-prefill every live request's verified tokens afterwards.
+        """
+        ranks = self.target_ranks()
+        i = ranks.index(rank)
+        parts = self.partition()
+        first = i == 0
+        last = i == len(ranks) - 1
+        ws = self.backend.make_worker_state(rank, parts[i], first, last)
+        self._worker_states[rank] = ws
+        proc = self._spawn_worker_proc(self._kernel, i, rank, ws)
+        self._worker_procs[rank] = proc
+        self._procs.append(proc)
+        return proc
 
     def spawn(self, kernel: SimKernel, job: GenerationJob):
         """Spawn head and worker processes; returns them for liveness checks."""
         procs = self._spawn_workers(kernel)
         procs.append(kernel.spawn(self._head(job), name="head"))
+        self._procs = procs
         self._record_memory()
         return procs
 
@@ -264,6 +301,7 @@ class BaseEngine(ABC):
         """
         procs = self._spawn_workers(kernel)
         procs.append(kernel.spawn(self._serve_head(scheduler), name="serve-head"))
+        self._procs = procs
         self._record_memory()
         return procs
 

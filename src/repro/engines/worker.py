@@ -78,6 +78,7 @@ def pipeline_worker(
     metrics: MetricsCollector,
     max_fuse: int = DEFAULT_MAX_FUSED_RUNS,
     pool: Optional[TransactionPool] = None,
+    injector=None,
 ) -> Generator:
     """Worker process for one pipeline rank.
 
@@ -95,6 +96,9 @@ def pipeline_worker(
         pool: the engine's shared :class:`TransactionPool`; payload records
             this stage unpacks are released into it and outbound records
             are acquired from it.
+        injector: optional :class:`repro.faults.FaultInjector`; when set,
+            stage compute times are scaled by any active straggler window
+            for this rank.  ``None`` on fault-free runs (zero overhead).
     """
     ep = net.endpoint(rank)
     cancelled: Set[int] = set()
@@ -171,7 +175,7 @@ def pipeline_worker(
             yield from _process_window(
                 ep, window, backend, ws, node, metrics,
                 rank, downstream, head_rank, cancelled, busy, drain_cancels,
-                pool,
+                pool, injector,
             )
 
         if shutdown:
@@ -186,7 +190,7 @@ def pipeline_worker(
 def _process_window(
     ep, window, backend, ws, node, metrics,
     rank, downstream, head_rank, cancelled, busy, drain_cancels,
-    pool,
+    pool, injector=None,
 ) -> Generator:
     """Evaluate one fusion window and forward its records in order."""
     lo, hi = ws.layer_range
@@ -232,6 +236,10 @@ def _process_window(
         chunks = backend.stage_chunks_multi(
             node, ws.layer_range, [sr.meta.n_tokens for sr in live]
         )
+        if injector is not None:
+            factor = injector.stage_time_factor(rank)
+            if factor != 1.0:
+                chunks = [c * factor for c in chunks]
         for i, chunk in enumerate(chunks):
             yield Delay(chunk)
             busy(chunk)

@@ -1,0 +1,20 @@
+"""Deterministic fault injection and failure recovery.
+
+See ``docs/fault-tolerance.md`` for the failure model, the detection /
+retransmit / re-prefill recovery flow, and how the determinism contract
+extends to faulty runs.
+"""
+
+from repro.faults.health import HealthMonitor
+from repro.faults.inject import FaultInjector, FaultyLink
+from repro.faults.plan import CrashSpec, FaultPlan, LinkFault, StragglerSpec
+
+__all__ = [
+    "CrashSpec",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyLink",
+    "HealthMonitor",
+    "LinkFault",
+    "StragglerSpec",
+]

@@ -1,0 +1,89 @@
+"""Per-stage health tracking with hysteresis, gating speculation depth.
+
+Every fault signal (a retransmission timeout toward a rank, a worker
+crash) bumps that rank's exponentially-decayed fault score; straggler
+windows force their rank degraded outright.  A rank whose score crosses
+``hi`` is *degraded*; it only recovers once the score decays below ``lo``
+— the hysteresis gap is the "stable window" graceful degradation requires
+before speculation resumes.  The serving head polls :meth:`degraded` each
+scheduling round and gates speculative drafting to depth 0 while any rank
+is unhealthy (speculative work is disposable, so shedding it first is the
+cheapest way to stop feeding a flapping link).
+
+All state advances on simulated time only (``math.exp`` of sim-time
+deltas), so the monitor is exactly as deterministic as the kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Set
+
+
+class HealthMonitor:
+    """Exponentially-decayed per-rank fault scores with hysteresis."""
+
+    def __init__(
+        self,
+        kernel,
+        stats,
+        tau: float = 0.25,
+        hi: float = 3.0,
+        lo: float = 0.5,
+    ) -> None:
+        self.kernel = kernel
+        self.stats = stats
+        self.tau = tau
+        self.hi = hi
+        self.lo = lo
+        self._value: Dict[int, float] = {}
+        self._last: Dict[int, float] = {}
+        self._hot: Set[int] = set()
+        #: Ranks inside a forced-degraded window (straggler injection),
+        #: reference counted so overlapping windows compose.
+        self._forced: Dict[int, int] = {}
+        self._was_degraded = False
+
+    # -- signal inputs -------------------------------------------------------
+
+    def record_fault(self, now: float, rank: int, weight: float = 1.0) -> None:
+        """A fault event (timeout, crash) attributed to ``rank``."""
+        v = self._decayed(rank, now) + weight
+        self._value[rank] = v
+        self._last[rank] = now
+        if v >= self.hi:
+            self._hot.add(rank)
+
+    def force(self, rank: int, active: bool) -> None:
+        """Enter/leave a forced-degraded window for ``rank``."""
+        count = self._forced.get(rank, 0) + (1 if active else -1)
+        if count > 0:
+            self._forced[rank] = count
+        else:
+            self._forced.pop(rank, None)
+
+    # -- queries -------------------------------------------------------------
+
+    def degraded(self, now: float) -> bool:
+        """True while any rank is unhealthy; counts degraded windows.
+
+        Healthy-to-degraded transitions increment
+        ``stats.degraded_windows`` — one count per continuous window, as
+        observed by the polling serving head.
+        """
+        if self._forced:
+            result = True
+        else:
+            for rank in [r for r in self._hot if self._decayed(r, now) <= self.lo]:
+                self._hot.discard(rank)
+            result = bool(self._hot)
+        if result and not self._was_degraded:
+            self.stats.degraded_windows += 1
+        self._was_degraded = result
+        return result
+
+    def _decayed(self, rank: int, now: float) -> float:
+        v = self._value.get(rank, 0.0)
+        if v == 0.0:
+            return 0.0
+        return v * math.exp(-(now - self._last[rank]) / self.tau)

@@ -31,6 +31,17 @@ class RunStats:
     #: comparable to pre-fusion runs.
     fused_batches: int = 0
     fused_runs: int = 0
+    #: Fault-tolerance counters (zero on fault-free runs).  A ``timeout``
+    #: is one retransmission watchdog firing without an ack; each fires a
+    #: ``retransmit`` of the unacknowledged message.  ``reprefilled_tokens``
+    #: counts verified tokens re-prefilled to rebuild KV after a worker
+    #: restart; ``degraded_windows`` counts healthy-to-degraded transitions
+    #: of the speculation-gating health monitor.
+    retransmits: int = 0
+    timeouts: int = 0
+    worker_restarts: int = 0
+    reprefilled_tokens: int = 0
+    degraded_windows: int = 0
 
     @property
     def acceptance_rate(self) -> float:

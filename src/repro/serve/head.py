@@ -40,6 +40,7 @@ from repro.core.head import (
     canonical_entry,
     dispatch_burst,
     dispatch_prefill,
+    dispatch_reprefill,
     dispatch_spec_burst,
     draft_round,
     new_request_context,
@@ -121,6 +122,12 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
         if cfg.prefix_cache
         else None
     )
+
+    injector = engine.injector
+    #: Run ids flushed by crash recovery: their logits (if a surviving
+    #: downstream stage still returns them) are discarded on arrival
+    #: instead of being matched against the rebuilt dispatch order.
+    flushed: set = set()
 
     def ensure_pool_seq() -> bool:
         """A canonical partition is available, evicting cached prefixes
@@ -272,12 +279,72 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
         reports.append(_report_for(ctx))
         scheduler.on_completed(ctx.req_id, kernel.now)
 
+    def recover_from_restart() -> None:
+        """Rebuild pipeline state after a worker crash/restart.
+
+        The restarted worker lost its KV shard and every in-flight message
+        addressed to it, so the global logits-arrival FIFO no longer
+        predicts what will come back.  Recovery flushes *all* in-flight
+        runs (their run ids go to ``flushed`` so surviving stages' logits
+        are discarded on arrival), releases their partitions, wipes each
+        live request's canonical KV across every stage, and re-prefills the
+        verified token stream — warm via the prefix cache when the backend's
+        worker KV is metadata-only, cold otherwise.  Greedy decoding makes
+        the re-prefilled continuation token-identical to the lost one.
+        """
+        order.clear()
+        warm = cache is not None and engine.backend.kv_is_metadata
+        for ctx in list(active.values()):
+            mb = ctx.kv
+            ops = []
+            while ctx.fifo:
+                rec = ctx.fifo.pop()
+                flushed.add(rec.run_id)
+                ops += mb.ops_for_release(rec)
+                mb.on_run_complete(rec)
+            ctx.n_spec_inflight = 0
+            mb.on_chain_reset()
+            ctx.chain.reconcile(ctx.accepted)
+            for p in [p for p in ctx.drafted if p >= len(ctx.accepted)]:
+                del ctx.drafted[p]
+            if ctx.done:
+                # Budget already met; the flush drained everything.
+                if ops:
+                    engine.send_cache_ops(first_target, ops)
+                finalize(ctx)
+                continue
+            # Wipe the canonical partition on every stage, then rebuild it
+            # from the verified stream (ordering per-link FIFO guarantees
+            # the wipe lands after any stale in-flight writes and before
+            # the re-prefill executes).
+            ops.append(CacheOp(CacheOpKind.SEQ_RM, ctx.kv.canonical, ctx.kv.canonical, 0, SEQ_END))
+            start = 0
+            if warm:
+                match = cache.match(ctx.accepted)
+                if match:
+                    ops += cache.ops_for_materialize([(match, ctx.kv.canonical)])
+                    start = match.length
+            engine.send_cache_ops(first_target, ops)
+            ctx.prefilled = False
+            dispatch_reprefill(engine, ctx, start_pos=start)
+            order.append(ctx.req_id)
+            ctx.metrics.stats.reprefilled_tokens += len(ctx.accepted) - start
+
     while active or scheduler.has_pending():
+        if engine._fault_events:
+            engine._fault_events.clear()
+            recover_from_restart()
         admit_ready()
 
         # ---- priority 1: sample/verify waiting logits ---------------------
         if ep.iprobe(last_target, Tag.LOGITS):
             msg = yield from ep.recv(last_target, Tag.LOGITS)
+            if flushed and msg.payload.run_id in flushed:
+                # A stage past the crashed worker still returned this
+                # flushed run; its partition was already released.
+                flushed.discard(msg.payload.run_id)
+                engine.pool.release_logits(msg.payload)
+                continue
             ctx = active[order.popleft()]
             if ctx.fifo.peek().kind is RunKind.PREFILL:
                 rec = ctx.fifo.pop()
@@ -323,6 +390,13 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
         # workers' fusion windows see the whole round at once.
         ready: List[RequestContext] = []
         limit = min(cfg.max_draft_batch, pool.n_free)
+        if injector is not None and injector.health.degraded(kernel.now):
+            # Graceful degradation: a flapping link, straggling stage, or
+            # recent crash gates speculation depth to 0 — canonical runs
+            # (priority 2) keep every request progressing, and drafting
+            # resumes once the health EWMA decays through its low water
+            # mark (the stable window).
+            limit = 0
         headroom = spec_dispatch_headroom(engine, active.values(), cfg)
         if headroom is not None:
             limit = min(limit, headroom)

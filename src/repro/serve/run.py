@@ -20,6 +20,7 @@ def run_serving(
     cluster: Cluster,
     workload: Workload,
     config: Optional[EngineConfig] = None,
+    fault_plan=None,
 ) -> ServingReport:
     """Build a fresh simulation, serve the whole workload, return the report.
 
@@ -32,14 +33,29 @@ def run_serving(
         cluster: the testbed (bound to a fresh kernel here).
         workload: jobs + arrival trace + optional concurrency cap.
         config: algorithm knobs; defaults to :class:`EngineConfig`.
+        fault_plan: optional :class:`repro.faults.FaultPlan`; a non-empty
+            plan injects link faults, stragglers, and worker crashes, and
+            arms the ack/retransmit + re-prefill recovery machinery.  An
+            empty (or None) plan installs nothing — the simulation is
+            byte-identical to one run without the fault plane.
     """
     config = config or EngineConfig()
     kernel = SimKernel()
     network = Network(kernel, cluster)
     metrics = MetricsCollector()
+    injector = None
+    if fault_plan is not None and not fault_plan.is_empty():
+        from repro.faults import FaultInjector  # cycle avoidance
+
+        injector = FaultInjector(fault_plan)
+        injector.install(kernel, network, metrics)
     engine = engine_factory(backend, network, config, metrics)
+    if injector is not None:
+        engine.injector = injector
     scheduler = RequestScheduler(workload)
     procs = engine.spawn_serving(kernel, scheduler)
+    if injector is not None:
+        injector.attach_engine(engine)
     run_to_completion(kernel, procs)
     requests = engine.request_reports
     report = ServingReport.from_requests(

@@ -6,6 +6,14 @@ from repro.workloads.arrivals import (
     multiturn_arrivals,
     poisson_arrivals,
 )
+from repro.workloads.cloudedge import (
+    WAN_LINK,
+    cloud_edge_arrivals,
+    cloud_edge_cluster,
+    cloud_edge_fault_plan,
+    cloud_edge_prompts,
+    wan_hops,
+)
 from repro.workloads.prompts import (
     PROMPT_CLASSES,
     MultiTurnTemplate,
@@ -24,4 +32,10 @@ __all__ = [
     "bursty_arrivals",
     "closed_loop_arrivals",
     "multiturn_arrivals",
+    "WAN_LINK",
+    "cloud_edge_arrivals",
+    "cloud_edge_cluster",
+    "cloud_edge_fault_plan",
+    "cloud_edge_prompts",
+    "wan_hops",
 ]

@@ -1,0 +1,153 @@
+"""Cloud-edge serving scenario: a pipeline stretched over a lossy WAN hop.
+
+PipeSD-style deployments split a pipelined model between well-provisioned
+cloud stages and cheap edge boxes, with a metro WAN in between.  This
+module builds the three pieces such a scenario needs, all deterministic:
+
+* a heterogeneous :class:`~repro.cluster.topology.Cluster` whose cloud
+  ranks are Xeon Gold nodes on InfiniBand and whose edge ranks are old
+  Optiplexes, with every cloud<->edge link overridden to a WAN spec
+  (high latency, megabit-class bandwidth);
+* a :class:`~repro.faults.plan.FaultPlan` putting loss and jitter on the
+  WAN hops the ring pipeline actually traverses, plus an optional
+  mid-stream edge-worker crash;
+* a prompt/arrival generator for the request stream.
+
+Everything is a pure function of its arguments (seeded draws only), so a
+cloud-edge run replays byte-identically like every other workload here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.cluster.hardware import (
+    OPTIPLEX_I5_GEN2,
+    OPTIPLEX_I7_GEN4,
+    XEON_GOLD_6140,
+)
+from repro.cluster.interconnect import INFINIBAND_EDR, LinkSpec
+from repro.cluster.topology import Cluster
+from repro.faults.plan import CrashSpec, FaultPlan, LinkFault
+from repro.util.units import Mbps, ms
+from repro.workloads.arrivals import poisson_arrivals
+from repro.workloads.prompts import make_prompt
+
+#: Metro-area WAN between the cloud and the edge site: ~12ms one-way
+#: latency, 200 Mb/s sustained.  Three orders of magnitude slower than the
+#: cloud-internal InfiniBand — the hop that dominates cloud-edge ITL.
+WAN_LINK = LinkSpec("metro WAN 200Mb/s", latency=12 * ms, bandwidth=Mbps(200))
+
+#: Prompt classes cycled across the request stream.
+_KINDS = ("wikitext", "explain", "code", "story")
+
+
+def cloud_edge_cluster(
+    n_cloud: int = 3,
+    n_edge: int = 2,
+    wan: LinkSpec = WAN_LINK,
+) -> Cluster:
+    """A cloud-edge pipeline cluster: Xeons in the cloud, Optiplexes at the edge.
+
+    Ranks ``0..n_cloud-1`` are dual-socket Xeon Gold 6140 cloud nodes on
+    InfiniBand EDR; ranks ``n_cloud..n_cloud+n_edge-1`` are edge Optiplexes
+    (alternating 4th-gen i7 / 2nd-gen i5).  Every directed link crossing
+    the cloud/edge boundary is overridden to ``wan``; links within either
+    site keep the uniform InfiniBand spec (the edge LAN is never the
+    bottleneck next to the WAN, so one uniform intra-site spec suffices).
+    """
+    if n_cloud < 1 or n_edge < 1:
+        raise ValueError("need at least one cloud and one edge node")
+    edge_cycle = (OPTIPLEX_I7_GEN4, OPTIPLEX_I5_GEN2)
+    nodes = [XEON_GOLD_6140] * n_cloud + [
+        edge_cycle[i % len(edge_cycle)] for i in range(n_edge)
+    ]
+    n = n_cloud + n_edge
+    overrides = {
+        (src, dst): wan
+        for src in range(n)
+        for dst in range(n)
+        if src != dst and (src < n_cloud) != (dst < n_cloud)
+    }
+    return Cluster(
+        f"cloud-edge[{n_cloud}+{n_edge}]",
+        nodes,
+        INFINIBAND_EDR,
+        link_overrides=overrides,
+    )
+
+
+def wan_hops(n_cloud: int = 3, n_edge: int = 2) -> Tuple[Tuple[int, int], ...]:
+    """The directed WAN hops a ring pipeline traverses on this topology.
+
+    The pipeline runs ranks in order with the head at rank 0, so exactly
+    two data paths cross the boundary: the forward relay from the last
+    cloud stage into the first edge stage, and the logits return from the
+    last edge stage back to the head.  Their reverse directions carry the
+    transport's acks, so all four directed pairs are listed.
+    """
+    last_cloud, first_edge, last_edge = n_cloud - 1, n_cloud, n_cloud + n_edge - 1
+    return (
+        (last_cloud, first_edge),
+        (first_edge, last_cloud),
+        (last_edge, 0),
+        (0, last_edge),
+    )
+
+
+def cloud_edge_fault_plan(
+    seed: int = 0,
+    n_cloud: int = 3,
+    n_edge: int = 2,
+    loss_rate: float = 0.02,
+    jitter: float = 3 * ms,
+    crash_rank: Optional[int] = None,
+    crash_at: float = 2.0,
+    restart_delay: float = 0.1,
+    rto: float = 0.1,
+) -> FaultPlan:
+    """A PipeSD-style fault plan: lossy, jittery WAN plus an optional crash.
+
+    Loss and jitter apply to every directed WAN hop from :func:`wan_hops`
+    (data paths and their ack return paths alike — a congested metro link
+    drops both ways).  When ``crash_rank`` is given, that worker dies at
+    ``crash_at`` and restarts after ``restart_delay``, exercising the
+    mid-stream re-prefill recovery path.  The default ``rto`` sits well
+    above the WAN round trip plus a bulk tensor's serialization, so
+    retransmissions mean loss, not an impatient watchdog.
+    """
+    link_faults = tuple(
+        LinkFault(src, dst, loss_rate=loss_rate, jitter=jitter)
+        for src, dst in wan_hops(n_cloud, n_edge)
+    )
+    crashes: Tuple[CrashSpec, ...] = ()
+    if crash_rank is not None:
+        crashes = (CrashSpec(crash_rank, at=crash_at, restart_delay=restart_delay),)
+    return FaultPlan(seed=seed, link_faults=link_faults, crashes=crashes, rto=rto)
+
+
+def cloud_edge_prompts(
+    n: int, vocab: int, length: int = 64
+) -> Tuple[Tuple[int, ...], ...]:
+    """``n`` mixed-class prompts for the cloud-edge request stream.
+
+    Classes cycle and lengths stagger a little so consecutive requests
+    are distinct (``make_prompt`` is deterministic per class+length).
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return tuple(
+        make_prompt(
+            _KINDS[i % len(_KINDS)],
+            length=length + (i // len(_KINDS)) % 8,
+            vocab=vocab,
+        )
+        for i in range(n)
+    )
+
+
+def cloud_edge_arrivals(
+    n: int, rate: float = 1.5, seed: int = 0
+) -> Tuple[float, ...]:
+    """Open-loop Poisson arrivals for the cloud-edge stream."""
+    return poisson_arrivals(rate, n, seed=seed)
