@@ -28,7 +28,7 @@ def test_fig6_itl(benchmark, bench_scale):
                         title="Figure 6 — ITL", unit="seconds"))
 
     # The paper's check: ITL trends mirror generation speed.
-    for k, pairs in raw.items():
+    for pairs in raw.values():
         for itl, speed in pairs:
             assert itl == pytest.approx(1.0 / speed, rel=0.15)
     # PipeInfer has the lowest ITL at depth for both pairs.

@@ -75,11 +75,8 @@ def test_bench_serving(benchmark):
 
     grid = run_once(benchmark, compute)
 
-    rows = []
-    for (n_nodes, rate), rep in sorted(
-        grid.items(), key=lambda kv: (kv[0][0], str(kv[0][1]))
-    ):
-        rows.append([
+    rows = [
+        [
             str(n_nodes),
             str(rate),
             f"{rep.throughput:.2f}",
@@ -87,7 +84,11 @@ def test_bench_serving(benchmark):
             f"{rep.itl_p50:.3f}/{rep.itl_p95:.3f}/{rep.itl_p99:.3f}",
             f"{rep.queue_wait_p95:.2f}",
             str(sum(rep.token_counts().values())),
-        ])
+        ]
+        for (n_nodes, rate), rep in sorted(
+            grid.items(), key=lambda kv: (kv[0][0], str(kv[0][1]))
+        )
+    ]
     print()
     print(format_table(
         ["nodes", "req/s", "tok/s", "TTFT p50/p95/p99",

@@ -25,7 +25,7 @@ from repro.workloads.prompts import PROMPT_CLASSES, make_prompt
 def main() -> None:
     cluster = gpu_testbed()
     rows = []
-    for key, pair in GPU_PAIRS.items():
+    for pair in GPU_PAIRS.values():
         prompt = make_prompt("explain", 128, pair.target_arch.vocab)
         job = GenerationJob(prompt=prompt, n_generate=192)
         speeds = {}

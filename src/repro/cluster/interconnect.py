@@ -24,6 +24,15 @@ its payload) are drained by a single kernel event instead of one ``call_at``
 per message.  Within one instant and one link, callbacks fire in transmit
 order — the same order the per-message events fired in — so per-stream
 delivery order is unchanged.
+
+Under the batched inbox hand-off (``EngineConfig.batched_inbox``, default
+on) a pending entry is an ``(endpoint, message)`` pair instead of a
+per-message closure: the drain groups maximal runs of message entries and
+hands each run to the destination endpoint in one
+:meth:`~repro.comm.mpi_sim.Endpoint._deliver_batch` call.  Raw callback
+entries (reliability-layer acks, retransmits, benchmarks) interleave with
+those runs in transmit order, so nothing is reordered — a batch is flushed
+before any callback queued after it fires.
 """
 
 from __future__ import annotations
@@ -107,7 +116,10 @@ class Link:
 
         Args:
             nbytes: serialized payload size.
-            on_delivered: zero-arg callback invoked at arrival time.
+            on_delivered: zero-arg callback invoked at arrival time, or an
+                ``(endpoint, message)`` pair — same-instant runs of pairs to
+                one endpoint are handed over in a single
+                ``endpoint._deliver_batch(...)`` call.
             eager_hint: force the eager lane regardless of size (used for
                 zero-byte control markers).
 
@@ -143,11 +155,35 @@ class Link:
         return arrival
 
     def _drain(self) -> None:
-        """Deliver every message that arrives at the current instant."""
-        callbacks = self._pending.pop(self._kernel.now)
+        """Deliver every message that arrives at the current instant.
+
+        Entries fire in transmit order.  Maximal runs of ``(endpoint, msg)``
+        pairs destined for the same endpoint are grouped into one
+        ``_deliver_batch`` call; a plain callback (ack, retransmit) flushes
+        the run before it fires, so callbacks never overtake data queued
+        ahead of them on this link.
+        """
+        entries = self._pending.pop(self._kernel.now)
         self.n_delivery_events += 1
-        for on_delivered in callbacks:
-            on_delivered()
+        batch_ep = None
+        batch: list = []
+        for entry in entries:
+            if entry.__class__ is tuple:
+                ep = entry[0]
+                if ep is not batch_ep:
+                    if batch:
+                        batch_ep._deliver_batch(batch)
+                        batch = []
+                    batch_ep = ep
+                batch.append(entry[1])
+            else:
+                if batch:
+                    batch_ep._deliver_batch(batch)
+                    batch = []
+                    batch_ep = None
+                entry()
+        if batch:
+            batch_ep._deliver_batch(batch)
 
     @property
     def busy_until(self) -> float:

@@ -122,6 +122,56 @@ class Endpoint:
         msg = yield fut
         return msg
 
+    def recv_ready(self, source: int = ANY_SOURCE, tag=ANY_TAG, limit=None):
+        """Consume and return every available matching message, in order.
+
+        Non-blocking and not a generator — callable from plain (non-process)
+        code.  Returns ``[]`` when nothing matches.  This is the batch half
+        of the inbox hand-off: one parked resume wakes the receiver, then a
+        single ``recv_ready`` drains the whole same-instant delivery batch
+        without further generator steps.
+        """
+        if not self._available:
+            return []
+        out: List[Message] = []
+        keep: List[Message] = []
+        n_avail = self._n_avail
+        for msg in self._available:
+            if (
+                (limit is None or len(out) < limit)
+                and (source in (ANY_SOURCE, msg.src))
+                and _tag_matches(tag, msg.tag)
+            ):
+                out.append(msg)
+                n_avail[msg.tag] -= 1
+            else:
+                keep.append(msg)
+        if out:
+            self._available = deque(keep)
+            trace = self._net.trace
+            if trace is not None:
+                rank = self.rank
+                trace.extend(
+                    (rank, msg.src, msg.tag, msg.seq) for msg in out
+                )
+        return out
+
+    def recv_many(
+        self, source: int = ANY_SOURCE, tag=ANY_TAG
+    ) -> Generator[Any, Any, List[Message]]:
+        """Blocking batch receive: at least one message, plus every other
+        already-available match, consumed in one generator step.
+
+        When the receiver parks, the link's coalesced drain makes the whole
+        same-instant batch available before the resume runs, so the
+        post-wakeup ``recv_ready`` picks up the rest of the batch for free.
+        """
+        msgs = self.recv_ready(source, tag)
+        if msgs:
+            return msgs
+        msg = yield from self.recv(source, tag)
+        return [msg, *self.recv_ready(source, tag)]
+
     def probe(
         self, source: int = ANY_SOURCE, tag=ANY_TAG
     ) -> Generator[Any, Any, Message]:
@@ -134,6 +184,16 @@ class Endpoint:
         self._pending.append(_RecvRequest(source, tag, fut, consume=False))
         msg = yield fut
         return msg
+
+    def post_probe(self, source: int, tag, fut) -> None:
+        """Post a non-consuming probe resolving ``fut`` with the next
+        matching delivery — the event-context counterpart of
+        :meth:`probe`, for receivers parking on a future from plain
+        (non-process) code such as a window-completion callback.  The
+        caller must have checked :meth:`iprobe` first: an
+        already-available match will not resolve the future.
+        """
+        self._pending.append(_RecvRequest(source, tag, fut, consume=False))
 
     def iprobe(self, source: int = ANY_SOURCE, tag=ANY_TAG) -> bool:
         """Non-blocking probe: True when a matching message is available.
@@ -154,24 +214,29 @@ class Endpoint:
                 return True
         return self._peek(source, tag) is not None
 
-    def wait_for_arrival(self, max_wait: float) -> Generator[Any, Any, bool]:
+    def wait_for_arrival(self, max_wait=None) -> Generator[Any, Any, bool]:
         """Park until any message is delivered to this rank, or ``max_wait``.
 
         Returns True if a message arrived, False on timeout.  Used by the
-        head node's continuous-speculation loop to idle briefly when the
+        head node's continuous-speculation loop to idle when the
         confidence cutoff halts drafting and no logits are waiting.
+        ``max_wait=None`` waits indefinitely (no timeout event) — correct
+        when in-flight pipeline work guarantees a future arrival.
         """
         if self._available:
             return True
         kernel = self._net.kernel
         fut = kernel.future(f"arrival@{self.rank}")
+        fut.detail = f"wait_for_arrival at rank {self.rank}"
         self._arrival_watchers.append(fut)
 
-        def timeout() -> None:
-            if not fut.resolved:
-                fut.resolve(False)
+        if max_wait is not None:
 
-        kernel.call_after(max_wait, timeout)
+            def timeout() -> None:
+                if not fut.resolved:
+                    fut.resolve(False)
+
+            kernel.call_after(max_wait, timeout)
         result = yield fut
         return bool(result)
 
@@ -188,6 +253,9 @@ class Endpoint:
             if (source in (ANY_SOURCE, msg.src)) and _tag_matches(tag, msg.tag):
                 del self._available[i]
                 self._n_avail[msg.tag] -= 1
+                trace = self._net.trace
+                if trace is not None:
+                    trace.append((self.rank, msg.src, msg.tag, msg.seq))
                 return msg
         return None
 
@@ -221,6 +289,20 @@ class Endpoint:
         if reliable is not None:
             reliable.on_accept(msg.src, self.rank, msg.tag, self._expected[key])
 
+    def _deliver_batch(self, msgs: List[Message]) -> None:
+        """Accept a same-instant, same-link delivery batch in transmit order.
+
+        Per-message semantics (ordering, stash, stale-drop, per-message
+        ``on_accept`` re-acks) are exactly those of :meth:`_deliver` — the
+        batch entry exists so a coalesced link drain hands the whole run
+        over without allocating one closure per message, and so at most one
+        parked-receiver resume is scheduled for the run (messages after the
+        first land in ``_available`` and are swept by ``recv_ready``).
+        """
+        deliver = self._deliver
+        for msg in msgs:
+            deliver(msg)
+
     def reset_after_crash(self) -> None:
         """Forget all communication state after the owning rank crashes.
 
@@ -243,9 +325,11 @@ class Endpoint:
                 self._expected[(src, tag)] = seq
 
     def _make_available(self, msg: Message) -> None:
+        net = self._net
         key = (msg.src, msg.tag)
         self._expected[key] = msg.seq + 1
-        msg.delivered_at = self._net.kernel.now
+        msg.delivered_at = net.kernel.now
+        net.n_delivered += 1
         # Hand directly to the oldest matching parked request, if any.
         for i, req in enumerate(self._pending):
             if req.matches(msg):
@@ -253,6 +337,8 @@ class Endpoint:
                 if not req.consume:
                     self._available.append(msg)
                     self._n_avail[msg.tag] = self._n_avail.get(msg.tag, 0) + 1
+                elif net.trace is not None:
+                    net.trace.append((self.rank, msg.src, msg.tag, msg.seq))
                 req.future.resolve(msg)
                 self._notify_watchers()
                 return
@@ -284,6 +370,22 @@ class Network:
         #: Aggregate statistics.
         self.n_sent = 0
         self.bytes_sent = 0.0
+        #: Messages made available to receivers in order (stale duplicates
+        #: and still-stashed arrivals excluded).  The serving benchmark
+        #: divides the kernel's resume counter by this to gate the
+        #: resumes-per-delivered-message ratio.
+        self.n_delivered = 0
+        #: Batched inbox hand-off: when True (default), link drains hand
+        #: same-instant runs to ``Endpoint._deliver_batch`` as
+        #: ``(endpoint, msg)`` entries; when False, every message carries a
+        #: per-message delivery closure (the ablation baseline).  Both modes
+        #: run the identical per-message acceptance logic.
+        self.batched_inbox = True
+        #: Optional consumption-order trace: when set to a list, every
+        #: message an application-level receive consumes appends
+        #: ``(rank, src, tag, seq)``.  Used by the batched-inbox
+        #: equivalence suite to prove on/off consumption-order identity.
+        self.trace: Optional[List[Tuple[int, int, int, int]]] = None
 
     def endpoint(self, rank: int) -> Endpoint:
         return self.endpoints[rank]
@@ -308,7 +410,12 @@ class Network:
         self.n_sent += 1
         self.bytes_sent += nbytes
         link = self.cluster.link(src, dst)
-        link.transmit(nbytes, lambda: self.endpoints[dst]._deliver(msg), eager_hint=eager)
+        if self.batched_inbox:
+            link.transmit(nbytes, (self.endpoints[dst], msg), eager_hint=eager)
+        else:
+            link.transmit(
+                nbytes, lambda: self.endpoints[dst]._deliver(msg), eager_hint=eager
+            )
         if self._reliable is not None:
             self._reliable.on_send(msg, nbytes, eager)
         return msg

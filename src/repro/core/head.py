@@ -220,8 +220,17 @@ def process_prefill_logits(engine, ctx: RequestContext, payload) -> None:
     ctx.metrics.mark_prefill_end(engine.net.kernel.now)
 
 
-def cancel_run(engine, ctx: RequestContext, rec: RunRecord, invalid: bool) -> None:
-    """Mark and (for speculative runs) back-propagate a cancel signal."""
+def cancel_run(
+    engine, ctx: RequestContext, rec: RunRecord, invalid: bool, cancels=None
+) -> None:
+    """Mark and (for speculative runs) back-propagate a cancel signal.
+
+    When ``cancels`` is given, the wire send is deferred: the run id is
+    appended for the caller to flush with :func:`send_cancels` *after*
+    charging the sampling delay that produced the decision — the signal
+    must not leave before the verification work it depends on is done.
+    Bookkeeping (stats, eligibility) is decided immediately either way.
+    """
     cfg = engine.config
     stats = ctx.metrics.stats
     if invalid:
@@ -229,20 +238,51 @@ def cancel_run(engine, ctx: RequestContext, rec: RunRecord, invalid: bool) -> No
     else:
         stats.cancelled_superfluous += 1
     if cfg.enable_cancellation and rec.is_speculative and not rec.superfluous:
+        stats.cancel_signals_sent += 1
+        if cancels is not None:
+            cancels.append(rec.run_id)
+            return
         # The signal enters at the far end of the pipeline and relays
         # toward earlier stages (IV-D2); workers probe for it between
         # compute chunks.
-        last_target = engine.target_ranks()[-1]
         engine.ep().send(
-            CancelMsg(rec.run_id), last_target, Tag.CANCEL,
+            CancelMsg(rec.run_id), engine.target_ranks()[-1], Tag.CANCEL,
             nbytes=16.0, eager=True,
         )
-        stats.cancel_signals_sent += 1
 
 
-def process_run_logits(engine, ctx: RequestContext, payload) -> Generator:
-    """Sampling/verification for the request's oldest in-flight run."""
-    first_target = engine.target_ranks()[0]
+def send_cancels(engine, run_ids: Sequence[int]) -> None:
+    """Flush deferred cancel signals into the far end of the pipeline."""
+    ep = engine.ep()
+    last_target = engine.target_ranks()[-1]
+    for rid in run_ids:
+        ep.send(CancelMsg(rid), last_target, Tag.CANCEL, nbytes=16.0, eager=True)
+
+
+def verify_run_logits(
+    engine,
+    ctx: RequestContext,
+    payload,
+    ops: List,
+    cancels: List,
+    time_base: float = 0.0,
+) -> float:
+    """Sampling/verification core for the request's oldest in-flight run.
+
+    Plain function (no yields) so batch-draining heads can verify several
+    logits messages in one generator step: cache ops are *appended* to
+    ``ops`` and cancel signals to ``cancels`` for the caller to flush
+    (one transaction / one signal burst) after charging the returned
+    sampling time (one cumulative ``Delay`` per drain round) — nothing
+    this verification decides may hit the wire before its compute time is
+    paid.  ``time_base`` is the sampling time already accumulated this
+    round; accepted tokens are stamped at ``now + time_base + t`` — where
+    sequential per-message processing would have recorded them.
+
+    Appended op order (acceptance before release, request-FIFO order
+    across calls) matches the order the historical per-message sends put
+    on the wire, so workers apply them identically.
+    """
     kernel = engine.net.kernel
     stats = ctx.metrics.stats
     mb: MultibufferManager = ctx.kv
@@ -259,24 +299,18 @@ def process_run_logits(engine, ctx: RequestContext, payload) -> Generator:
     stats.completed += 1
 
     def release() -> None:
-        ops = mb.ops_for_release(rec)
-        if ops:
-            engine.send_cache_ops(first_target, ops)
+        ops.extend(mb.ops_for_release(rec))
         mb.on_run_complete(rec)
 
-    if payload.cancelled or rec.cancelled or ctx.done:
+    if payload.cancelled or rec.cancelled or ctx.done or rec.superfluous:
+        # Cancelled/stale runs skip sampling: superfluous runs were
+        # evaluated in full (canonical) or raced the mark (speculative);
+        # their predictions are already known.
         release()
-        return
-    if rec.superfluous:
-        # Evaluated in full (canonical) or raced the mark (speculative);
-        # its predictions are already known — skip sampling.
-        release()
-        return
+        return 0.0
 
     # ---- sampling / verification --------------------------------------
     t = SAMPLE_TIME_PER_LOGIT * max(len(payload.logits), 1)
-    yield Delay(t)
-    engine.metrics.add_busy(0, t)
 
     outcome = verify_chain(
         len(accepted), rec.start_pos, rec.tokens, payload.logits
@@ -293,11 +327,11 @@ def process_run_logits(engine, ctx: RequestContext, payload) -> Generator:
                 stats.draft_tokens_checked += 1
                 if d == accepted[p]:
                     stats.draft_tokens_accepted += 1
-        ctx.metrics.record_tokens(kernel.now, len(outcome.new_tokens))
+        ctx.metrics.record_tokens(
+            kernel.now + time_base + t, len(outcome.new_tokens)
+        )
         ctx.cutoff.on_accepted()
-        ops = mb.ops_for_acceptance(rec, len(accepted))
-        if ops:
-            engine.send_cache_ops(first_target, ops)
+        ops.extend(mb.ops_for_acceptance(rec, len(accepted)))
     release()
 
     # ---- chain reconciliation and invalidation -------------------------
@@ -314,12 +348,33 @@ def process_run_logits(engine, ctx: RequestContext, payload) -> Generator:
         if div is not None:
             mb.on_chain_reset()
             for dead in ctx.fifo.invalidate_after(div):
-                cancel_run(engine, ctx, dead, invalid=True)
+                cancel_run(engine, ctx, dead, invalid=True, cancels=cancels)
             # Tokens drafted beyond the divergence die unchecked.
             for p in [p for p in ctx.drafted if p >= len(accepted)]:
                 del ctx.drafted[p]
     for stale in ctx.fifo.mark_superfluous(accepted):
-        cancel_run(engine, ctx, stale, invalid=False)
+        cancel_run(engine, ctx, stale, invalid=False, cancels=cancels)
+    return t
+
+
+def process_run_logits(engine, ctx: RequestContext, payload) -> Generator:
+    """Sampling/verification for one logits message (per-message form).
+
+    Thin generator over :func:`verify_run_logits`: charges the sampling
+    delay, then flushes the run's acceptance + release cache ops as a
+    single transaction (historically two) and its cancel signals.  The
+    serving head batch-drains via :func:`verify_run_logits` directly.
+    """
+    ops: List = []
+    cancels: List = []
+    t = verify_run_logits(engine, ctx, payload, ops, cancels)
+    if t:
+        yield Delay(t)
+        engine.metrics.add_busy(0, t)
+    if ops:
+        engine.send_cache_ops(engine.target_ranks()[0], ops)
+    if cancels:
+        send_cancels(engine, cancels)
 
 
 def spec_allowed(engine, ctx: RequestContext) -> bool:
@@ -382,20 +437,52 @@ def draft_round(
 
     With one participant this is exactly the historical sequential
     drafting loop; the differential suites pin the wider batches to it.
+
+    The passes run as chained kernel events (each pass's completion
+    callback proposes, filters, and schedules the next pass at exactly
+    the instants the historical per-pass delay loop hit), so the head
+    process parks once on a future for the whole round instead of
+    resuming per pass.
+    """
+    kernel = engine.net.kernel
+    fut = kernel.future("draft_round")
+    start_draft_round(engine, ctxs, fut.resolve)
+    if not fut.resolved:
+        yield fut
+    return fut.value
+
+
+def start_draft_round(engine, ctxs: Sequence[RequestContext], on_complete) -> None:
+    """Event-driven core of :func:`draft_round`.
+
+    Chains the lockstep draft passes as kernel events and invokes
+    ``on_complete(proposed)`` at the instant the round ends — callable
+    from plain (non-generator) code such as the serving head's event
+    loop.  Completes synchronously (before returning) when there are no
+    participants or drafting is disabled.
     """
     be = engine.backend
     cfg = engine.config
     ep = engine.ep()
+    kernel = engine.net.kernel
     last_target = engine.target_ranks()[-1]
 
     participants = list(ctxs)
     proposed: Dict[int, int] = {ctx.req_id: 0 for ctx in ctxs}
-    for _ in range(cfg.microbatch_size):
-        if not participants:
-            break
+    if not participants or cfg.microbatch_size <= 0:
+        on_complete(proposed)
+        return
+
+    busy_acc = [0.0]
+    passes_left = [cfg.microbatch_size]
+
+    def schedule_pass() -> None:
         t = be.draft_batch_time(len(participants))
-        yield Delay(t)
-        engine.metrics.add_busy(0, t)
+        busy_acc[0] += t
+        kernel.call_at(kernel.now + t, complete_pass)
+
+    def complete_pass() -> None:
+        nonlocal participants
         engine.metrics.record_draft_batch(len(participants))
         results = be.propose_multi([ctx.chain for ctx in participants])
         keep = []
@@ -407,13 +494,22 @@ def draft_round(
             proposed[ctx.req_id] += 1
             keep.append(ctx)
         participants = keep
+        passes_left[0] -= 1
         # Probe between draft passes (a head-side synchronization
         # point): when logits are waiting, dispatch what we have
         # and go sample — sampling latency must not grow with the
         # draft model's size (Section IV-A).
-        if ep.iprobe(last_target, Tag.LOGITS):
-            break
-    return proposed
+        if (
+            not participants
+            or passes_left[0] <= 0
+            or ep.iprobe(last_target, Tag.LOGITS)
+        ):
+            engine.metrics.add_busy(0, busy_acc[0])
+            on_complete(proposed)
+        else:
+            schedule_pass()
+
+    schedule_pass()
 
 
 def dispatch_burst(engine, entries) -> List[int]:

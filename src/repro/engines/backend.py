@@ -581,7 +581,7 @@ class FunctionalBackend(Backend):
         # One ndarray of cell indices per batch; every layer's K/V write
         # fancy-indexes with it directly (no per-layer list conversion).
         cells = np.asarray(
-            cache.allocate([(s.pos, set(s.seq_ids)) for s in meta.slots]),
+            cache.allocate([(s.pos, s.seq_ids) for s in meta.slots]),
             dtype=np.intp,
         )
         return self.target.forward_stage(
@@ -636,7 +636,7 @@ class FunctionalBackend(Backend):
                 self.target.embed(meta.slots) if item.hidden is None else item.hidden
             )
             cells = np.asarray(
-                cache.allocate([(s.pos, set(s.seq_ids)) for s in meta.slots]),
+                cache.allocate([(s.pos, s.seq_ids) for s in meta.slots]),
                 dtype=np.intp,
             )
             if vis_union[cells].any() and groups[-1]:
@@ -644,7 +644,7 @@ class FunctionalBackend(Backend):
                 vis_union[:] = False
             positions = np.array([s.pos for s in meta.slots], dtype=np.int64)
             visible = cache.visible_matrix(
-                [s.primary_seq for s in meta.slots], positions,
+                [s.seq_ids[0] for s in meta.slots], positions,
                 limit=cache.high_water,
             )
             vis_union[: visible.shape[1]] |= visible.any(axis=0)

@@ -96,6 +96,12 @@ class EngineConfig:
     #: Shortest prefix match (and donated span) worth a cache-op
     #: transaction; shorter matches prefill from scratch.
     min_match_tokens: int = 8
+    #: Batched inbox hand-off: coalesced link drains hand each same-instant
+    #: delivery run to the destination endpoint in one call, scheduling at
+    #: most one resume per parked receiver.  False restores per-message
+    #: delivery closures (the ablation baseline); per-message acceptance
+    #: semantics are identical in both modes.
+    batched_inbox: bool = True
 
     def __post_init__(self) -> None:
         if self.microbatch_size < 1:
@@ -174,6 +180,7 @@ class BaseEngine(ABC):
         self.net = network
         self.cluster = network.cluster
         self.config = config
+        network.batched_inbox = config.batched_inbox
         self.metrics = metrics
         self.generated_tokens: List[int] = []
         #: Per-request reports, populated by the serving heads.

@@ -104,8 +104,9 @@ class SpeculativeEngine(PipelinedHeadMixin, BaseEngine):
                 seqs = tuple(sorted(node_seqs[i]))
                 slots.append(TokenSlot(node.token, node.pos, seqs, True))
             prefixes = [accepted[: tip_pos + 1]]
-            for i in range(len(tree)):
-                prefixes.append(accepted + tree.path_tokens(i))
+            prefixes.extend(
+                accepted + tree.path_tokens(i) for i in range(len(tree))
+            )
             states = be.slot_states_for_prefixes(prefixes)
             pre_ops = [
                 CacheOp(CacheOpKind.SEQ_CP, 0, b, 0, tip_pos + 1)
@@ -126,8 +127,10 @@ class SpeculativeEngine(PipelinedHeadMixin, BaseEngine):
                 lo = tree.nodes[outcome.matched_nodes[0]].pos
                 hi = tree.nodes[outcome.matched_nodes[-1]].pos + 1
                 post_ops.append(CacheOp(CacheOpKind.SEQ_CP, path_seq, 0, lo, hi))
-            for b in branch_seqs:
-                post_ops.append(CacheOp(CacheOpKind.SEQ_RM, b, b, 0, SEQ_END))
+            post_ops.extend(
+                CacheOp(CacheOpKind.SEQ_RM, b, b, 0, SEQ_END)
+                for b in branch_seqs
+            )
             from repro.engines.backend import apply_cache_op
 
             for op in post_ops:

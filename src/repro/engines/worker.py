@@ -37,7 +37,6 @@ from __future__ import annotations
 from typing import Generator, List, Optional, Set
 
 from repro.cluster.hardware import NodeSpec
-from repro.cluster.kernel import Delay
 from repro.comm.message import ANY_SOURCE, Tag
 from repro.comm.mpi_sim import Network
 from repro.comm.payloads import (
@@ -101,9 +100,15 @@ def pipeline_worker(
             for this rank.  ``None`` on fault-free runs (zero overhead).
     """
     ep = net.endpoint(rank)
+    kernel = net.kernel
     cancelled: Set[int] = set()
     if pool is None:
         pool = TransactionPool()
+    #: Flipped when this generator is closed (shutdown or crash): any
+    #: window sync-point callbacks still scheduled on the kernel become
+    #: no-ops, so a crashed worker stops computing and sending mid-window
+    #: exactly as the historical in-generator chunk loop did.
+    dead = [False]
 
     def busy(seconds: float) -> None:
         metrics.add_busy(rank, seconds)
@@ -119,21 +124,71 @@ def pipeline_worker(
                 CancelForward(run_id), upstream, Tag.CANCEL, nbytes=16.0, eager=True
             )
 
-    def drain_cancels() -> Generator:
-        while ep.iprobe(ANY_SOURCE, Tag.CANCEL):
-            cmsg = yield from ep.recv(ANY_SOURCE, Tag.CANCEL)
+    def drain_cancels() -> None:
+        for cmsg in ep.recv_ready(ANY_SOURCE, Tag.CANCEL):
             record_cancel(cmsg.payload.run_id)
 
+    # Receiver discipline: wake on payload *pieces* (or out-of-band
+    # cancels), not on Tag.START.  The 16-byte start marker outruns its
+    # payload pieces on the eager lane, so a worker parked on the piece
+    # tags finds both the start and its first piece already in the mailbox
+    # when it resumes — one park per transaction instead of one per
+    # message.  The start marker still sequences dispatch: it is always
+    # consumed first, oldest first.
+    wake_tags = (Tag.CANCEL, Tag.DECODE, Tag.CACHE_OP, Tag.FUSED, Tag.CONTROL)
+    piece_tags = (Tag.DECODE, Tag.CACHE_OP, Tag.FUSED, Tag.CONTROL)
+
+    try:
+        yield from _worker_loop(
+            ep, kernel, wake_tags, piece_tags, drain_cancels,
+            net, rank, upstream, downstream, head_rank, backend, ws, node,
+            metrics, max_fuse, pool, injector, cancelled, busy, dead,
+        )
+    finally:
+        dead[0] = True
+
+
+def _worker_loop(
+    ep, kernel, wake_tags, piece_tags, drain_cancels,
+    net, rank, upstream, downstream, head_rank, backend, ws, node,
+    metrics, max_fuse, pool, injector, cancelled, busy, dead,
+) -> Generator:
+    """Main receive/evaluate loop (split out so the crash flag wraps it)."""
+    #: True while a fusion window's boundary events are in flight.
+    in_flight = [False]
+    #: ``(future, need_msg)`` the worker parked on mid-window.  Resolved
+    #: at window completion if input is already waiting (or
+    #: unconditionally for the shutdown flush, ``need_msg=False``);
+    #: otherwise re-parked as an arrival watcher, so the worker wakes
+    #: exactly once per window, at max(window end, next arrival).
+    gate_box = [None]
+
+    def on_window_done() -> None:
+        in_flight[0] = False
+        parked = gate_box[0]
+        if parked is None:
+            return
+        gate, need_msg = parked
+        gate_box[0] = None
+        if not need_msg or ep.iprobe(ANY_SOURCE, wake_tags):
+            gate.resolve(None)
+        else:
+            ep.post_probe(ANY_SOURCE, wake_tags, gate)
+
     while True:
-        # Receiver discipline: the main loop only accepts transaction
-        # starts and out-of-band cancels; typed payload pieces are pulled
-        # by the window collector on their own tags.
-        msg = yield from ep.recv(ANY_SOURCE, (Tag.START, Tag.CANCEL))
-        if msg.tag == Tag.CANCEL:
-            record_cancel(msg.payload.run_id)
-            continue
-        if msg.tag != Tag.START:
-            raise RuntimeError(f"worker {rank}: unexpected message {msg!r}")
+        if in_flight[0]:
+            gate = kernel.future(f"window-gate@{rank}")
+            gate_box[0] = (gate, True)
+            yield gate
+        elif not ep.iprobe(ANY_SOURCE, wake_tags):
+            yield from ep.probe(ANY_SOURCE, wake_tags)
+        drain_cancels()
+        if not ep.iprobe(ANY_SOURCE, Tag.START):
+            if not ep.iprobe(ANY_SOURCE, piece_tags):
+                continue  # pure-cancel wake: recorded above, nothing else
+            # A piece outran its start marker (the 8-byte shutdown frame,
+            # or fault jitter): park for the start itself.
+        msg = yield from ep.recv(ANY_SOURCE, Tag.START)
         src = msg.src
         ttype = TransactionType(msg.payload)
 
@@ -172,13 +227,24 @@ def pipeline_worker(
             ttype = TransactionType(msg.payload)
 
         if window:
-            yield from _process_window(
-                ep, window, backend, ws, node, metrics,
+            # The window's chunk-boundary sync points run as kernel events;
+            # the worker parks (next loop iteration) until the final
+            # boundary fires ``on_window_done`` at the exact instant the
+            # historical chunk loop finished.
+            in_flight[0] = True
+            _schedule_window(
+                kernel, ep, window, backend, ws, node, metrics,
                 rank, downstream, head_rank, cancelled, busy, drain_cancels,
-                pool, injector,
+                pool, injector, dead, on_window_done,
             )
 
         if shutdown:
+            if in_flight[0]:
+                # Flush: forward the shutdown only once the in-flight
+                # window has completed and sent its records.
+                gate = kernel.future(f"flush-gate@{rank}")
+                gate_box[0] = (gate, False)
+                yield gate
             if downstream is not None:
                 send_transaction(
                     ep, downstream, TransactionType.SHUTDOWN,
@@ -187,16 +253,31 @@ def pipeline_worker(
             return
 
 
-def _process_window(
-    ep, window, backend, ws, node, metrics,
+def _schedule_window(
+    kernel, ep, window, backend, ws, node, metrics,
     rank, downstream, head_rank, cancelled, busy, drain_cancels,
-    pool, injector=None,
-) -> Generator:
-    """Evaluate one fusion window and forward its records in order."""
+    pool, injector, dead, on_done,
+) -> None:
+    """Schedule one fusion window's evaluation as kernel events.
+
+    The window's timeline is laid out up front: one callback per
+    compute-chunk boundary runs the cancellation sync-point probe (the
+    between-chunk ``drain_cancels`` + skip update the paper calls thread
+    synchronization points), and the final boundary performs the stage
+    compute and forwards the records — all at exactly the simulated
+    instants the historical in-generator chunk loop hit.  ``on_done``
+    fires at the completion instant (synchronously when there is nothing
+    to evaluate and no cache-op apply time); the worker process parks
+    once per window instead of resuming at every chunk.
+
+    Every callback is guarded by the worker's ``dead`` flag so a crash
+    mid-window abandons the remaining chunks, the compute, and the
+    forwards, matching generator close semantics.
+    """
     lo, hi = ws.layer_range
 
     # Drain any cancellation signals that raced ahead of these decodes.
-    yield from drain_cancels()
+    drain_cancels()
 
     # Build the compute window, marking runs the stage will not evaluate.
     # The inbound per-run records are dead once unpacked into StageRuns
@@ -221,10 +302,83 @@ def _process_window(
             items.append(it)
             n_ops += len(it)
 
-    if n_ops:
-        yield Delay(CACHE_OP_APPLY_TIME * n_ops)
-
+    op_delay = CACHE_OP_APPLY_TIME * n_ops if n_ops else 0.0
     live = [sr for sr in stage_runs if not sr.skip]
+
+    def send_records(busy_acc: float) -> None:
+        """Emit this window's outbound records (at the current instant)."""
+        if ws.is_last_stage:
+            outs = window_state[0]
+            for sr, hidden in zip(stage_runs, outs):
+                if sr.skip:
+                    payload = pool.acquire_logits(
+                        sr.meta.run_id, [], nbytes=CANCELLED_LOGITS_NBYTES,
+                        cancelled=True,
+                    )
+                else:
+                    logits = backend.finalize_logits(ws, sr.meta, hidden)
+                    payload = pool.acquire_logits(
+                        sr.meta.run_id, logits,
+                        nbytes=backend.logits_nbytes(len(logits)),
+                    )
+                ep.send(payload, head_rank, Tag.LOGITS, nbytes=payload.nbytes)
+        elif downstream is not None:
+            outs = window_state[0]
+            fb = pool.acquire_fused_batch()
+            out_items = fb.items
+            nbytes = 0.0
+            oi = 0
+            for it in items:
+                if isinstance(it, StageRun):
+                    if it.skip:
+                        out = pool.acquire_activations(
+                            it.meta.run_id, EMPTY_ACTIVATION_NBYTES, None,
+                            cancelled=True,
+                        )
+                    else:
+                        out = pool.acquire_activations(
+                            it.meta.run_id,
+                            backend.activation_nbytes(it.meta.n_tokens),
+                            outs[oi],
+                        )
+                    out_items.append(pool.acquire_fused_run(it.meta, out))
+                    nbytes += it.meta.nbytes + out.nbytes
+                    oi += 1
+                else:
+                    out_items.append(it)
+                    nbytes += 32.0 * len(it)
+            fb.nbytes = nbytes
+            send_transaction(
+                ep, downstream, TransactionType.FUSED, [(fb, fb.nbytes)]
+            )
+        # One metrics call per window: busy seconds accumulated across
+        # chunk and logits delays instead of per-delay calls.
+        if busy_acc:
+            busy(busy_acc)
+        on_done()
+
+    #: ``window_state[0]`` holds the stage outputs between the compute
+    #: boundary and the (possibly later) logits-emit boundary.
+    window_state: List = [None]
+
+    def finish(busy_acc: float) -> None:
+        """End-of-chunks boundary: run the stage compute, then emit."""
+        window_state[0] = backend.compute_stage_multi(ws, items)
+        if ws.is_last_stage and any(not sr.skip for sr in stage_runs):
+            n_want = sum(
+                sum(1 for s in sr.meta.slots if s.want_logits)
+                for sr in stage_runs if not sr.skip
+            )
+            t = backend.logits_time(node, n_want)
+
+            def emit() -> None:
+                if not dead[0]:
+                    send_records(busy_acc + t)
+
+            kernel.call_at(kernel.now + t, emit)
+        else:
+            send_records(busy_acc)
+
     if live:
         width = len(live)
         metrics.record_fusion(rank, width)
@@ -240,81 +394,69 @@ def _process_window(
             factor = injector.stage_time_factor(rank)
             if factor != 1.0:
                 chunks = [c * factor for c in chunks]
+        if not any(sr.meta.is_speculative for sr in live):
+            # No speculative run in the window: cancellation cannot touch
+            # it (cancels only ever skip speculative runs), so the
+            # between-chunk sync points are no-ops.  Charge the whole
+            # window (plus any cache-op apply time) as one boundary.
+            total = sum(chunks)
+
+            def whole_window() -> None:
+                if not dead[0]:
+                    finish(total)
+
+            kernel.call_at(kernel.now + total + op_delay, whole_window)
+            return
+        # Cache-op apply time rides the first chunk (no observable event
+        # sits between them); each boundary probes for cancels that landed
+        # while the chunk evaluated.  A cancel mid-fusion splits the batch
+        # logically: the run drops out of the computation but keeps its
+        # slot in the forwarded record order.
+        n_chunks = len(chunks)
+        done = [False]
+        t = kernel.now + op_delay
+        elapsed = 0.0
         for i, chunk in enumerate(chunks):
-            yield Delay(chunk)
-            busy(chunk)
-            # Thread-synchronization-point probe: react to cancels that
-            # arrive while the window is being evaluated.  A cancel that
-            # lands mid-fusion splits the batch logically: the cancelled
-            # run drops out of the computation but keeps its slot in the
-            # forwarded record order.
-            yield from drain_cancels()
-            remaining = len(chunks) - (i + 1)
-            for sr in stage_runs:
-                if (
-                    not sr.skip
-                    and sr.meta.is_speculative
-                    and sr.meta.run_id in cancelled
+            t += chunk
+            elapsed += chunk
+
+            def boundary(
+                remaining: int = n_chunks - (i + 1), elapsed: float = elapsed
+            ) -> None:
+                if done[0] or dead[0]:
+                    return
+                drain_cancels()
+                for sr in stage_runs:
+                    if (
+                        not sr.skip
+                        and sr.meta.is_speculative
+                        and sr.meta.run_id in cancelled
+                    ):
+                        sr.skip = True
+                        metrics.stats.worker_layer_evals_skipped += max(
+                            0, (hi - lo) * remaining // max(n_chunks, 1)
+                        )
+                if remaining == 0 or not any(
+                    not sr.skip for sr in stage_runs
                 ):
-                    sr.skip = True
-                    metrics.stats.worker_layer_evals_skipped += max(
-                        0, (hi - lo) * remaining // max(len(chunks), 1)
-                    )
-            if not any(not sr.skip for sr in stage_runs):
-                break  # whole window cancelled: abandon remaining chunks
+                    # Last chunk done, or whole window cancelled: abandon
+                    # any remaining chunks and finish now.
+                    done[0] = True
+                    finish(elapsed)
 
-    outs = backend.compute_stage_multi(ws, items)
+            kernel.call_at(t, boundary)
+        return
 
-    if ws.is_last_stage:
-        n_want = sum(
-            sum(1 for s in sr.meta.slots if s.want_logits)
-            for sr in stage_runs if not sr.skip
-        )
-        if any(not sr.skip for sr in stage_runs):
-            t = backend.logits_time(node, n_want)
-            yield Delay(t)
-            busy(t)
-        for sr, hidden in zip(stage_runs, outs):
-            if sr.skip:
-                payload = pool.acquire_logits(
-                    sr.meta.run_id, [], nbytes=CANCELLED_LOGITS_NBYTES,
-                    cancelled=True,
-                )
-            else:
-                logits = backend.finalize_logits(ws, sr.meta, hidden)
-                payload = pool.acquire_logits(
-                    sr.meta.run_id, logits,
-                    nbytes=backend.logits_nbytes(len(logits)),
-                )
-            ep.send(payload, head_rank, Tag.LOGITS, nbytes=payload.nbytes)
-    elif downstream is not None:
-        fb = pool.acquire_fused_batch()
-        out_items = fb.items
-        nbytes = 0.0
-        oi = 0
-        for it in items:
-            if isinstance(it, StageRun):
-                if it.skip:
-                    out = pool.acquire_activations(
-                        it.meta.run_id, EMPTY_ACTIVATION_NBYTES, None,
-                        cancelled=True,
-                    )
-                else:
-                    out = pool.acquire_activations(
-                        it.meta.run_id,
-                        backend.activation_nbytes(it.meta.n_tokens),
-                        outs[oi],
-                    )
-                out_items.append(pool.acquire_fused_run(it.meta, out))
-                nbytes += it.meta.nbytes + out.nbytes
-                oi += 1
-            else:
-                out_items.append(it)
-                nbytes += 32.0 * len(it)
-        fb.nbytes = nbytes
-        send_transaction(
-            ep, downstream, TransactionType.FUSED, [(fb, fb.nbytes)]
-        )
+    if op_delay:
+
+        def ops_applied() -> None:
+            if not dead[0]:
+                finish(0.0)
+
+        kernel.call_at(kernel.now + op_delay, ops_applied)
+        return
+
+    finish(0.0)
 
 
 class CancelForward:

@@ -43,7 +43,7 @@ def run_7a(scale: Optional[ExperimentScale] = None) -> Dict[str, List[float]]:
 def run_7b(scale: Optional[ExperimentScale] = None) -> Dict[str, List[float]]:
     """TTFT on cluster A (8 nodes) per family and strategy."""
     series: Dict[str, List[float]] = {"Iterative": [], "Speculative": [], "PipeInfer": []}
-    for family, pair_key in FAMILY_PAIRS.items():
+    for pair_key in FAMILY_PAIRS.values():
         cluster = cluster_a(8)
         series["Iterative"].append(run_cell(pair_key, "iter", cluster, scale).ttft)
         series["Speculative"].append(run_cell(pair_key, "spec", cluster, scale).ttft)

@@ -97,12 +97,11 @@ class MetricsCollector:
         self.busy_time: Dict[int, float] = {}
         #: rank -> modeled resident memory in bytes.
         self.node_memory: Dict[int, float] = {}
-        #: rank -> {fusion width -> window count}: how many runs each
-        #: stage's fusion windows batched together (width 1 = no fusion).
-        self.fusion_width: Dict[int, Dict[int, int]] = {}
-        #: {batch width -> pass count}: how many request chains each of
-        #: the head's draft passes proposed for (width 1 = no batching).
-        self.draft_batch_width: Dict[int, int] = {}
+        #: Raw samples behind the width histograms.  The hot path only
+        #: appends; binning into dicts is deferred to the read-side
+        #: properties, which run once per report rather than per window.
+        self._fusion_raw: List[tuple] = []
+        self._draft_raw: List[int] = []
 
     # -- timeline -----------------------------------------------------------
 
@@ -121,19 +120,38 @@ class MetricsCollector:
 
     def record_fusion(self, rank: int, width: int) -> None:
         """Record one stage window that evaluated ``width`` live runs."""
-        hist = self.fusion_width.setdefault(rank, {})
-        hist[width] = hist.get(width, 0) + 1
+        self._fusion_raw.append((rank, width))
 
     def record_draft_batch(self, width: int) -> None:
         """Record one head draft pass that proposed for ``width`` chains."""
-        self.draft_batch_width[width] = self.draft_batch_width.get(width, 0) + 1
+        self._draft_raw.append(width)
+
+    @property
+    def fusion_width(self) -> Dict[int, Dict[int, int]]:
+        """rank -> {fusion width -> window count}: how many runs each
+        stage's fusion windows batched together (width 1 = no fusion).
+        Binned on demand from the raw append-only samples."""
+        out: Dict[int, Dict[int, int]] = {}
+        for rank, width in self._fusion_raw:
+            hist = out.setdefault(rank, {})
+            hist[width] = hist.get(width, 0) + 1
+        return out
+
+    @property
+    def draft_batch_width(self) -> Dict[int, int]:
+        """{batch width -> pass count}: how many request chains each of
+        the head's draft passes proposed for (width 1 = no batching).
+        Binned on demand from the raw append-only samples."""
+        out: Dict[int, int] = {}
+        for width in self._draft_raw:
+            out[width] = out.get(width, 0) + 1
+        return out
 
     def fusion_width_hist(self) -> Dict[int, int]:
         """Width -> window count aggregated over every stage."""
         total: Dict[int, int] = {}
-        for hist in self.fusion_width.values():
-            for width, count in hist.items():
-                total[width] = total.get(width, 0) + count
+        for _rank, width in self._fusion_raw:
+            total[width] = total.get(width, 0) + 1
         return total
 
     def set_node_memory(self, rank: int, nbytes: float) -> None:

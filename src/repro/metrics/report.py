@@ -151,6 +151,19 @@ class ServingReport:
     #: Prefix-cache lifecycle counters (hits, donations, evictions,
     #: retained cells) from the serving head's manager; empty when off.
     prefix_cache_stats: Dict[str, int] = field(default_factory=dict)
+    #: Event-core efficiency counters: generator resumes executed by the
+    #: kernel vs messages made available to receivers over the run.  The
+    #: batched inbox hand-off drives ``n_resumes / n_delivered`` toward
+    #: one resume per delivery *event* (well below one per message).
+    n_resumes: int = 0
+    n_delivered: int = 0
+
+    @property
+    def resumes_per_message(self) -> float:
+        """Process resumes per delivered message (lower is better)."""
+        if self.n_delivered <= 0:
+            return 0.0
+        return self.n_resumes / self.n_delivered
 
     @classmethod
     def from_requests(

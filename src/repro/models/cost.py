@@ -19,7 +19,7 @@ memory-efficiency analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.cluster.hardware import NodeSpec
 from repro.models.arch import ArchSpec
@@ -54,6 +54,15 @@ class CostModel:
 
     arch: ArchSpec
     context: int = 640
+    #: Memo of ``(node, n_tokens) -> layer_time`` and ``node ->
+    #: output_head_time``.  Every term below is a pure function of the
+    #: frozen arch/node specs, but evaluating it walks a chain of Python
+    #: properties (param counts, kv_dim, derated node rates) — measurable
+    #: on the serving hot path, where every fused window asks for the
+    #: same handful of ``(node, n_tokens)`` pairs.  Caching reuses the
+    #: identical float, so simulated times are bit-equal with or without
+    #: the memo.
+    _memo: dict = field(default_factory=dict, repr=False, compare=False)
 
     # -- compute -------------------------------------------------------------
 
@@ -79,6 +88,10 @@ class CostModel:
         """
         if n_tokens <= 0:
             raise ValueError("n_tokens must be positive")
+        key = (node, n_tokens)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
         a = self.arch
         # Weights are streamed once per batch; the KV cache is read once
         # per token (attention over the running context).
@@ -88,7 +101,9 @@ class CostModel:
         mem_time = mem_bytes / self._matvec_bw(node)
         flops = a.flops_per_token_per_layer(self.context) * n_tokens
         compute_time = flops / self._quant_flops(node)
-        return max(mem_time, compute_time)
+        t = max(mem_time, compute_time)
+        self._memo[key] = t
+        return t
 
     def stage_time(self, node: NodeSpec, n_layers: int, n_tokens: int) -> float:
         """Time for one pipeline stage: ``n_layers`` plus dispatch overhead."""
@@ -113,6 +128,10 @@ class CostModel:
         """
         if n_layers <= 0:
             return [node.compute_overhead]
+        key = (node, n_layers, n_tokens, chunk_layers)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return list(cached)
         per_layer = self.layer_time(node, n_tokens)
         chunks = []
         remaining = n_layers
@@ -121,13 +140,20 @@ class CostModel:
             chunks.append(step * per_layer)
             remaining -= step
         chunks[0] += node.compute_overhead
+        # Cache a tuple; hand out a fresh list so callers may mutate.
+        self._memo[key] = tuple(chunks)
         return chunks
 
     def output_head_time(self, node: NodeSpec, n_logits: int) -> float:
         """Final norm + LM head: streams the (unquantized-ish) head weights."""
+        cached = self._memo.get(node)
+        if cached is not None:
+            return cached
         a = self.arch
         head_bytes = a.vocab * a.d_model * 2.0  # f16 output head
-        return head_bytes / self._matvec_bw(node) + node.compute_overhead
+        t = head_bytes / self._matvec_bw(node) + node.compute_overhead
+        self._memo[node] = t
+        return t
 
     def embed_time(self, node: NodeSpec, n_tokens: int) -> float:
         """Token-embedding lookup: one row per token — effectively free."""
@@ -136,11 +162,17 @@ class CostModel:
 
     def full_model_time(self, node: NodeSpec, n_tokens: int) -> float:
         """Single-node full forward pass (draft model on the head node)."""
-        return (
+        key = ("full", node, n_tokens)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        t = (
             self.embed_time(node, n_tokens)
             + self.stage_time(node, self.arch.n_layers, n_tokens)
             + self.output_head_time(node, n_tokens)
         )
+        self._memo[key] = t
+        return t
 
     def cache_op_time(self, node: NodeSpec) -> float:
         """A KV-cache metadata operation (seq_cp/seq_rm): near-free."""

@@ -189,9 +189,12 @@ class KVCache:
                 raise KVCacheError("a cell must belong to at least one sequence")
             if p < 0:
                 raise KVCacheError(f"invalid position {p}")
-            ids = list(set(seq_ids))
-            if min(ids) < 0:
-                raise KVCacheError(f"invalid sequence id {min(ids)}")
+            # Duplicate ids are harmless (membership marking is
+            # idempotent), so the per-entry ``set()`` dedup is skipped.
+            ids = seq_ids if isinstance(seq_ids, (list, tuple)) else list(seq_ids)
+            lo_id = min(ids)
+            if lo_id < 0:
+                raise KVCacheError(f"invalid sequence id {lo_id}")
             self._ensure_seq(max(ids))
             cell = heapq.heappop(free)
             if cell >= self._high_water:
@@ -200,7 +203,7 @@ class KVCache:
             if len(ids) == 1:
                 self._member[cell, ids[0]] = True
             else:
-                self._member[cell, ids] = True
+                self._member[cell, list(ids)] = True
             cells.append(cell)
         return cells
 
@@ -267,12 +270,16 @@ class KVCache:
                 raise KVCacheError(f"invalid sequence id {seq_src}")
             return 0
         # Scans stop at the high-water mark: cells past it have never been
-        # allocated, so they belong to no sequence.
+        # allocated, so they belong to no sequence.  Membership first:
+        # the sequence's column is sparse relative to the high-water
+        # range, so narrowing to its cells before the position compare
+        # touches far fewer elements — and subsetting an ascending index
+        # list keeps it ascending, so the result is the same ``cand``.
         hw = self._high_water
         pos = self.pos[:hw]
-        cand = np.flatnonzero(
-            self._member[:hw, seq_src] & (pos >= p0) & (pos < p1)
-        )
+        owned = np.flatnonzero(self._member[:hw, seq_src])
+        owned_pos = pos[owned]
+        cand = owned[(owned_pos >= p0) & (owned_pos < p1)]
         if cand.size == 0:
             return 0
         self._ensure_seq(seq_dst)
@@ -288,10 +295,15 @@ class KVCache:
             uniq_pos, first = cand_pos, np.arange(cand_pos.size)
         else:
             uniq_pos, first = np.unique(cand_pos, return_index=True)
-        dst_cells = self._member[:hw, seq_dst] & (pos >= 0)
-        if dst_cells.any():
-            dst_pos = pos[dst_cells]
-            chosen = cand[first[~np.isin(uniq_pos, dst_pos)]]
+        dst_owned = np.flatnonzero(self._member[:hw, seq_dst])
+        if dst_owned.size:
+            # Membership via a Python set: the position lists are tiny
+            # (tens of entries), where ``np.isin``'s sort-based path is
+            # all fixed overhead.  Same boolean outcome by definition.
+            dst_pos = {p for p in pos[dst_owned].tolist() if p >= 0}
+            keep = [i for i, p in enumerate(uniq_pos.tolist())
+                    if p not in dst_pos]
+            chosen = cand[first[keep]]
         else:
             chosen = cand[first]
         self._member[chosen, seq_dst] = True
@@ -304,9 +316,9 @@ class KVCache:
             return 0
         hw = self._high_water
         pos = self.pos[:hw]
-        hit = np.flatnonzero(
-            self._member[:hw, seq] & (pos >= p0) & (pos < p1)
-        )
+        owned = np.flatnonzero(self._member[:hw, seq])
+        owned_pos = pos[owned]
+        hit = owned[(owned_pos >= p0) & (owned_pos < p1)]
         if hit.size == 0:
             return 0
         self._member[hit, seq] = False
@@ -336,10 +348,49 @@ class KVCache:
 
         Implements acceptance propagation (Section IV-C2): accepted entries
         are copied to all other sequences so new runs find correct context.
+
+        Equivalent to ``seq_cp(seq_src, dst, ...)`` per target, but the
+        source-side scan (candidate cells, first-per-position selection) is
+        computed once and shared: adding ``dst`` members never changes the
+        source column, so only the destination-position filter differs per
+        target.
         """
+        targets = list(targets)
+        if not targets:
+            return 0
+        self._check_range(p0, p1)
+        if not self._col(seq_src):
+            if seq_src < 0:
+                raise KVCacheError(f"invalid sequence id {seq_src}")
+            return 0
+        hw = self._high_water
+        pos = self.pos[:hw]
+        owned = np.flatnonzero(self._member[:hw, seq_src])
+        owned_pos = pos[owned]
+        cand = owned[(owned_pos >= p0) & (owned_pos < p1)]
+        if cand.size == 0:
+            return 0
+        cand_pos = pos[cand]
+        if cand_pos.size == 1 or (cand_pos[1:] > cand_pos[:-1]).all():
+            uniq_pos, first = cand_pos, np.arange(cand_pos.size)
+        else:
+            uniq_pos, first = np.unique(cand_pos, return_index=True)
+        default = cand[first]
         n = 0
         for dst in targets:
-            n += self.seq_cp(seq_src, dst, p0, p1)
+            if dst == seq_src:
+                continue
+            self._ensure_seq(dst)
+            dst_owned = np.flatnonzero(self._member[:hw, dst])
+            if dst_owned.size:
+                dst_pos = {p for p in pos[dst_owned].tolist() if p >= 0}
+                keep = [i for i, p in enumerate(uniq_pos.tolist())
+                        if p not in dst_pos]
+                chosen = cand[first[keep]]
+            else:
+                chosen = default
+            self._member[chosen, dst] = True
+            n += int(chosen.size)
         return n
 
     # -- queries ---------------------------------------------------------------

@@ -11,6 +11,14 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+try:  # numpy >= 2.0
+    from numpy._core._multiarray_umath import c_einsum as _c_einsum
+except ImportError:  # pragma: no cover - older numpy layouts
+    try:
+        from numpy.core._multiarray_umath import c_einsum as _c_einsum
+    except ImportError:
+        _c_einsum = np.einsum
+
 
 class ScratchArena:
     """Named, shape-keyed scratch buffers for the hot forward path.
@@ -64,8 +72,18 @@ def rms_norm(
     written into a caller-provided buffer using the exact same operation
     order, so results are bit-identical to the allocating form.
     """
-    ms = np.einsum("...d,...d->...", x, x) / x.shape[-1]
-    scale = 1.0 / np.sqrt(ms + eps)
+    # Direct dispatch to the einsum kernel: ``np.einsum`` without an
+    # ``optimize`` path delegates to exactly this call, so the result is
+    # bit-identical — only the per-call wrapper overhead is skipped
+    # (this runs twice per layer per decode batch).
+    ms = _c_einsum("...d,...d->...", x, x)
+    # In-place on the fresh einsum result: the same ufunc sequence as
+    # ``1.0 / np.sqrt(ms / d + eps)`` without the three temporaries.
+    ms /= x.shape[-1]
+    ms += eps
+    np.sqrt(ms, out=ms)
+    np.divide(1.0, ms, out=ms)
+    scale = ms
     if out is None:
         return x * scale[..., None] * weight
     np.multiply(x, scale[..., None], out=out)

@@ -188,14 +188,14 @@ class TinyTransformer:
         cfg = self.cfg
         positions = np.array([s.pos for s in slots], dtype=np.int64)
         if cells is None:
-            cells = cache.allocate([(s.pos, set(s.seq_ids)) for s in slots])
+            cells = cache.allocate([(s.pos, s.seq_ids) for s in slots])
         cells = np.asarray(cells, dtype=np.intp)
         # Visibility depends only on cache metadata (fixed once the batch's
         # cells are allocated), never on the layer: one mask per batch,
         # compacted to the cells any token can see.
         if visible is None:
             visible = cache.visible_matrix(
-                [s.primary_seq for s in slots], positions, limit=cache.high_water
+                [s.seq_ids[0] for s in slots], positions, limit=cache.high_water
             )
         rot = self._rope_tables(positions)
         if arena is None:
@@ -242,14 +242,23 @@ class TinyTransformer:
                 scores = arena.get(
                     "attn.scores" + key, (b - c0, kvh, group, u)
                 )
+                # Reduction buffer for the softmax max/sum (keepdims
+                # shape): the reductions write here instead of allocating
+                # a fresh array twice per plan per layer.
+                red = arena.get("attn.red" + key, (b - c0, kvh, group, 1))
+                inv = ~mask[:, None, None, :]
                 plans.append((
                     used,
-                    ~mask[:, None, None, :],
+                    # All-visible plans (single-run decode rows over their
+                    # own compacted cells) skip the mask write entirely —
+                    # copyto with an all-False ``where`` is a no-op.
+                    inv if inv.any() else None,
                     kc,
                     vc,
                     kc.reshape(u, kvh, hd).transpose(1, 2, 0),
                     vc.reshape(u, kvh, hd).transpose(1, 0, 2),
                     scores,
+                    red,
                     q2[c0:b].reshape(b - c0, kvh, group, hd),
                     attn4[c0:b],
                 ))
@@ -268,15 +277,16 @@ class TinyTransformer:
             apply_rope_tables(k, rot, out=k)
             cache.write(local, cells, k2, v2)
             ck, cv = cache.k[local], cache.v[local]
-            for used, inv, kc, vc, kct, vct, scores, qg, og in plans:
+            for used, inv, kc, vc, kct, vct, scores, red, qg, og in plans:
                 ck.take(used, axis=0, out=kc)
                 cv.take(used, axis=0, out=vc)
                 np.matmul(qg, kct, out=scores)
                 scores /= sqrt_hd
-                np.copyto(scores, -np.inf, where=inv)
-                scores -= scores.max(axis=-1, keepdims=True)
+                if inv is not None:
+                    np.copyto(scores, -np.inf, where=inv)
+                scores -= scores.max(axis=-1, keepdims=True, out=red)
                 np.exp(scores, out=scores)
-                scores /= scores.sum(axis=-1, keepdims=True)
+                scores /= scores.sum(axis=-1, keepdims=True, out=red)
                 np.matmul(scores, vct, out=og)
             np.matmul(attn2, w.wo, out=tmp)
             h += tmp

@@ -42,12 +42,13 @@ from repro.core.head import (
     dispatch_prefill,
     dispatch_reprefill,
     dispatch_spec_burst,
-    draft_round,
     new_request_context,
     cancel_run,
     process_prefill_logits,
-    process_run_logits,
+    send_cancels,
     spec_allowed_serving,
+    start_draft_round,
+    verify_run_logits,
 )
 from repro.cache.prefix import PrefixCacheManager, PrefixMatch
 from repro.core.multibuffer import SEQ_END, CellBudget, acquire_canonical
@@ -245,12 +246,12 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
             dispatch_prefill(engine, ctx, start_pos=match.length)
             order.append(ctx.req_id)
 
-    def mark_done(ctx: RequestContext) -> None:
+    def mark_done(ctx: RequestContext, cancels=None) -> None:
         """Token budget met: stop sampling, flush in-flight speculation."""
         ctx.done = True
         ctx.metrics.mark_finish(kernel.now)
         for rec in ctx.fifo.mark_all_cancelled():
-            cancel_run(engine, ctx, rec, invalid=False)
+            cancel_run(engine, ctx, rec, invalid=False, cancels=cancels)
 
     def finalize(ctx: RequestContext) -> None:
         """All in-flight runs drained: release the request's partitions.
@@ -330,123 +331,234 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
             order.append(ctx.req_id)
             ctx.metrics.stats.reprefilled_tokens += len(ctx.accepted) - start
 
-    while active or scheduler.has_pending():
-        if engine._fault_events:
-            engine._fault_events.clear()
-            recover_from_restart()
-        admit_ready()
+    # The head runs as an event-driven state machine: every wait the
+    # historical generator loop expressed as a yield (the cumulative
+    # sampling delay, the per-round draft future, the idle arrival watch)
+    # is a kernel event chaining back into ``step``, at exactly the same
+    # simulated instants.  The head *process* parks once, on the ``done``
+    # future, so its contribution to the kernel's resume count is constant
+    # rather than per-iteration.
+    done = kernel.future("serving-done")
 
-        # ---- priority 1: sample/verify waiting logits ---------------------
-        if ep.iprobe(last_target, Tag.LOGITS):
-            msg = yield from ep.recv(last_target, Tag.LOGITS)
-            if flushed and msg.payload.run_id in flushed:
-                # A stage past the crashed worker still returned this
-                # flushed run; its partition was already released.
-                flushed.discard(msg.payload.run_id)
-                engine.pool.release_logits(msg.payload)
-                continue
-            ctx = active[order.popleft()]
-            if ctx.fifo.peek().kind is RunKind.PREFILL:
-                rec = ctx.fifo.pop()
-                if rec.run_id != msg.payload.run_id:
-                    raise RuntimeError(
-                        f"FIFO desync: expected run {rec.run_id}, "
-                        f"got {msg.payload.run_id}"
-                    )
-                ctx.metrics.stats.completed += 1
-                process_prefill_logits(engine, ctx, msg.payload)
-            else:
-                yield from process_run_logits(engine, ctx, msg.payload)
-            engine.pool.release_logits(msg.payload)
-            if not ctx.done and ctx.target_reached():
-                mark_done(ctx)
-            if ctx.done and not ctx.fifo:
-                finalize(ctx)
-            continue
+    def arrival_step(max_wait) -> None:
+        """Re-enter ``step`` on the next delivery, or after ``max_wait``.
 
-        # ---- priority 2: guaranteed forward progress ----------------------
-        # Every request with an uncovered tip gets its canonical run, all
-        # of them coalesced into one burst transaction (dispatch takes no
-        # simulated time, so batching them never delays sampling).
+        The watcher may resolve mid-delivery-batch, so the re-entry is
+        deferred with an at-now event — the loop resumes only after the
+        current delivery event has made its whole batch available, just
+        as a parked process resume would.
+        """
+        fut = kernel.future(f"arrival@{ep.rank}")
+        fut.detail = f"wait_for_arrival at rank {ep.rank}"
+        fut.set_callback(lambda _v: kernel.call_at(kernel.now, step))
+        ep._arrival_watchers.append(fut)
+        if max_wait is not None:
+
+            def timeout() -> None:
+                if not fut.resolved:
+                    fut.resolve(False)
+
+            kernel.call_after(max_wait, timeout)
+
+    def after_draft(ready: List[RequestContext], proposed) -> None:
+        dispatches = [
+            (ctx, proposed[ctx.req_id])
+            for ctx in ready
+            if proposed[ctx.req_id]
+        ]
         progressed = False
-        entries = []
-        for rid in list(rotation):
-            ctx = active[rid]
-            if not ctx.prefilled or ctx.done:
-                continue
-            if not ctx.fifo.covers_tip(ctx.accepted):
-                rec, states = canonical_entry(engine, ctx)
-                entries.append((ctx, rec, states, []))
-        if entries:
-            order.extend(dispatch_burst(engine, entries))
-            continue
-
-        # ---- priority 3: continuous speculation, batched across requests --
-        # The draft scheduler: collect every request whose chain wants a
-        # proposal step (rotation order for fairness, capped by the knob
-        # and by free KV partitions — each dispatch takes one), run their
-        # one-token draft decodes as lockstep batched passes, then send
-        # the resulting speculative runs as one transaction burst so the
-        # workers' fusion windows see the whole round at once.
-        ready: List[RequestContext] = []
-        limit = min(cfg.max_draft_batch, pool.n_free)
-        if injector is not None and injector.health.degraded(kernel.now):
-            # Graceful degradation: a flapping link, straggling stage, or
-            # recent crash gates speculation depth to 0 — canonical runs
-            # (priority 2) keep every request progressing, and drafting
-            # resumes once the health EWMA decays through its low water
-            # mark (the stable window).
-            limit = 0
-        headroom = spec_dispatch_headroom(engine, active.values(), cfg)
-        if headroom is not None:
-            limit = min(limit, headroom)
-        # The depth budget is shared over requests that can actually
-        # draft — done-but-draining and un-prefilled requests must not
-        # dilute a lone live request below its full historical depth.
-        n_draftable = sum(
-            1 for c in active.values() if c.prefilled and not c.done
-        )
-        for rid in list(rotation):
-            if len(ready) >= limit:
-                break
-            ctx = active[rid]
-            if not ctx.prefilled or ctx.done:
-                continue
-            if not spec_allowed_serving(engine, ctx, n_draftable):
-                continue
-            ready.append(ctx)
-        if ready:
-            rotation.rotate(-1)
-            proposed = yield from draft_round(engine, ready)
-            dispatches = [
-                (ctx, proposed[ctx.req_id])
-                for ctx in ready
-                if proposed[ctx.req_id]
-            ]
-            if dispatches:
-                order.extend(dispatch_spec_burst(engine, dispatches))
-                progressed = True
-            for ctx in ready:
-                if not proposed[ctx.req_id]:
-                    # Draft confidence halted this request's speculation.
-                    ctx.cutoff.on_failed_idle()
+        if dispatches:
+            order.extend(dispatch_spec_burst(engine, dispatches))
+            progressed = True
+        for ctx in ready:
+            if not proposed[ctx.req_id]:
+                # Draft confidence halted this request's speculation.
+                ctx.cutoff.on_failed_idle()
         if progressed:
-            continue
+            step()
+        else:
+            idle()
 
+    def idle() -> None:
         # ---- priority 4: idle ---------------------------------------------
         if active:
-            yield from ep.wait_for_arrival(cfg.idle_poll)
-        else:
+            if injector is not None:
+                # Health-EWMA decay is observed by polling, so the fault
+                # plane keeps the historical idle cadence.
+                arrival_step(cfg.idle_poll)
+                return
             nxt = scheduler.next_arrival()
             if nxt is not None and nxt > kernel.now:
-                yield Delay(nxt - kernel.now)
+                # Wake for the next request arrival even if the pipeline
+                # stays quiet until then.
+                arrival_step(nxt - kernel.now)
             else:
-                yield Delay(cfg.idle_poll)
+                # Every active request has work in flight (priority 2
+                # guarantees tip coverage), so a message is certain to
+                # arrive: park for it instead of polling on a timer.
+                arrival_step(None)
+            return
+        nxt = scheduler.next_arrival()
+        if nxt is not None and nxt > kernel.now:
+            kernel.call_at(nxt, step)
+        else:
+            kernel.call_after(cfg.idle_poll, step)
 
-    engine.request_reports = reports
-    engine.prefix_cache_stats = cache.stats_dict() if cache is not None else {}
-    engine.metrics.mark_finish(kernel.now)
-    engine.shutdown_pipeline()
+    def step() -> None:
+        while active or scheduler.has_pending():
+            if engine._fault_events:
+                engine._fault_events.clear()
+                recover_from_restart()
+            admit_ready()
+
+            # ---- priority 1: sample/verify waiting logits -----------------
+            # Fused stage windows return several runs' logits back-to-back,
+            # and the batched inbox hand-off makes them all available at
+            # once: drain the whole batch in one pass, verifying each run
+            # with :func:`verify_run_logits` (plain function), then charge
+            # one cumulative sampling delay and flush the accumulated cache
+            # ops as a single transaction.  Tokens are stamped at the
+            # instant the historical per-message loop would have recorded
+            # them.
+            msgs = ep.recv_ready(last_target, Tag.LOGITS)
+            if msgs:
+                cum = 0.0
+                pending_ops: List = []
+                pending_cancels: List = []
+                for msg in msgs:
+                    payload = msg.payload
+                    if flushed and payload.run_id in flushed:
+                        # A stage past the crashed worker still returned
+                        # this flushed run; its partition was already
+                        # released.
+                        flushed.discard(payload.run_id)
+                        engine.pool.release_logits(payload)
+                        continue
+                    ctx = active[order.popleft()]
+                    if ctx.fifo.peek().kind is RunKind.PREFILL:
+                        rec = ctx.fifo.pop()
+                        if rec.run_id != payload.run_id:
+                            raise RuntimeError(
+                                f"FIFO desync: expected run {rec.run_id}, "
+                                f"got {payload.run_id}"
+                            )
+                        ctx.metrics.stats.completed += 1
+                        process_prefill_logits(engine, ctx, payload)
+                    else:
+                        cum += verify_run_logits(
+                            engine, ctx, payload, pending_ops,
+                            pending_cancels, time_base=cum,
+                        )
+                    engine.pool.release_logits(payload)
+                    if not ctx.done and ctx.target_reached():
+                        mark_done(ctx, pending_cancels)
+                    if ctx.done and not ctx.fifo:
+                        # finalize() pipelines donate/release ops that must
+                        # land after this request's run-release ops: flush
+                        # first.
+                        if pending_ops:
+                            engine.send_cache_ops(first_target, pending_ops)
+                            pending_ops = []
+                        finalize(ctx)
+                if cum:
+                    # The op/cancel flush happens *after* the sampling
+                    # delay — nothing a verification decided may hit the
+                    # wire before its compute time is paid.
+                    engine.metrics.add_busy(0, cum)
+
+                    def after_sample(
+                        pending_ops=pending_ops,
+                        pending_cancels=pending_cancels,
+                    ) -> None:
+                        if pending_ops:
+                            engine.send_cache_ops(first_target, pending_ops)
+                        if pending_cancels:
+                            send_cancels(engine, pending_cancels)
+                        step()
+
+                    kernel.call_after(cum, after_sample)
+                    return
+                if pending_ops:
+                    engine.send_cache_ops(first_target, pending_ops)
+                if pending_cancels:
+                    send_cancels(engine, pending_cancels)
+                continue
+
+            # ---- priority 2: guaranteed forward progress ------------------
+            # Every request with an uncovered tip gets its canonical run,
+            # all of them coalesced into one burst transaction (dispatch
+            # takes no simulated time, so batching them never delays
+            # sampling).
+            entries = []
+            for rid in list(rotation):
+                ctx = active[rid]
+                if not ctx.prefilled or ctx.done:
+                    continue
+                if not ctx.fifo.covers_tip(ctx.accepted):
+                    rec, states = canonical_entry(engine, ctx)
+                    entries.append((ctx, rec, states, []))
+            if entries:
+                order.extend(dispatch_burst(engine, entries))
+                continue
+
+            # ---- priority 3: continuous speculation, batched across -------
+            # requests.  The draft scheduler: collect every request whose
+            # chain wants a proposal step (rotation order for fairness,
+            # capped by the knob and by free KV partitions — each dispatch
+            # takes one), run their one-token draft decodes as lockstep
+            # batched passes, then send the resulting speculative runs as
+            # one transaction burst so the workers' fusion windows see the
+            # whole round at once.
+            ready: List[RequestContext] = []
+            limit = min(cfg.max_draft_batch, pool.n_free)
+            if injector is not None and injector.health.degraded(kernel.now):
+                # Graceful degradation: a flapping link, straggling stage,
+                # or recent crash gates speculation depth to 0 — canonical
+                # runs (priority 2) keep every request progressing, and
+                # drafting resumes once the health EWMA decays through its
+                # low water mark (the stable window).
+                limit = 0
+            headroom = spec_dispatch_headroom(engine, active.values(), cfg)
+            if headroom is not None:
+                limit = min(limit, headroom)
+            # The depth budget is shared over requests that can actually
+            # draft — done-but-draining and un-prefilled requests must not
+            # dilute a lone live request below its full historical depth.
+            n_draftable = sum(
+                1 for c in active.values() if c.prefilled and not c.done
+            )
+            for rid in list(rotation):
+                if len(ready) >= limit:
+                    break
+                ctx = active[rid]
+                if not ctx.prefilled or ctx.done:
+                    continue
+                if not spec_allowed_serving(engine, ctx, n_draftable):
+                    continue
+                ready.append(ctx)
+            if ready:
+                rotation.rotate(-1)
+                start_draft_round(
+                    engine, ready,
+                    lambda proposed, ready=ready: after_draft(ready, proposed),
+                )
+                return
+
+            idle()
+            return
+
+        engine.request_reports = reports
+        engine.prefix_cache_stats = (
+            cache.stats_dict() if cache is not None else {}
+        )
+        engine.metrics.mark_finish(kernel.now)
+        engine.shutdown_pipeline()
+        done.resolve(None)
+
+    step()
+    if not done.resolved:
+        yield done
+
 
 
 # ---------------------------------------------------------------------------

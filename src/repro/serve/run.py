@@ -21,6 +21,7 @@ def run_serving(
     workload: Workload,
     config: Optional[EngineConfig] = None,
     fault_plan=None,
+    trace: Optional[list] = None,
 ) -> ServingReport:
     """Build a fresh simulation, serve the whole workload, return the report.
 
@@ -38,10 +39,16 @@ def run_serving(
             arms the ack/retransmit + re-prefill recovery machinery.  An
             empty (or None) plan installs nothing — the simulation is
             byte-identical to one run without the fault plane.
+        trace: optional list the network appends every consumed message
+            to as ``(rank, src, tag, seq)`` — the batched-inbox
+            equivalence suite uses it to prove on/off consumption-order
+            identity.  Leave None (the default) on the hot path.
     """
     config = config or EngineConfig()
     kernel = SimKernel()
     network = Network(kernel, cluster)
+    if trace is not None:
+        network.trace = trace
     metrics = MetricsCollector()
     injector = None
     if fault_plan is not None and not fault_plan.is_empty():
@@ -63,6 +70,11 @@ def run_serving(
     )
     # Busy fractions over the serving makespan (head + workers).
     report.utilization = metrics.utilization(total_time=report.makespan)
+    # Event-core efficiency: process resumes executed vs messages made
+    # available to receivers — the batched-inbox hand-off drives this
+    # ratio toward one resume per delivery event (< 1 message-wise).
+    report.n_resumes = kernel.n_resumes
+    report.n_delivered = network.n_delivered
     report.fusion_width = metrics.fusion_width_hist()
     report.draft_batch_width = dict(metrics.draft_batch_width)
     # Prefix-cache lifecycle counters (empty dict when the cache is off

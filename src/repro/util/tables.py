@@ -25,8 +25,10 @@ def format_table(
     sep = "-+-".join("-" * w for w in widths)
     lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
     lines.append(sep)
-    for row in cells[1:]:
-        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    lines.extend(
+        " | ".join(c.ljust(w) for c, w in zip(row, widths))
+        for row in cells[1:]
+    )
     return "\n".join(lines)
 
 
@@ -43,9 +45,10 @@ def format_series(
     legend entry (e.g. ``"Pipe. (TinyLlama)"``) to its per-x measurements.
     """
     headers = [x_label] + [str(x) for x in x_values]
-    rows = []
-    for name, values in series.items():
-        rows.append([name] + [_fmt(v) for v in values])
+    rows = [
+        [name] + [_fmt(v) for v in values]
+        for name, values in series.items()
+    ]
     out = format_table(headers, rows, title=title)
     if unit:
         out += f"\n(values in {unit})"

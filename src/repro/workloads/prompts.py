@@ -178,6 +178,8 @@ class MultiTurnTemplate:
             context = _span(
                 self.seed, 4000 + s, self.n_turns * self.turn_len, vocab
             )
-            for t in range(self.n_turns):
-                out.append(system + context[: (t + 1) * self.turn_len])
+            out.extend(
+                system + context[: (t + 1) * self.turn_len]
+                for t in range(self.n_turns)
+            )
         return tuple(out)

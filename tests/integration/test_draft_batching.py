@@ -28,12 +28,12 @@ from tests.conftest import PROMPT
 
 
 def functional_cfg(**overrides) -> EngineConfig:
-    base = dict(
-        draft=DraftParams(max_tokens=4, cutoff=0.02),
-        cutoff_recovery=0.01,
-        cutoff_decay=0.01,
-        n_seq_partitions=24,
-    )
+    base = {
+        "draft": DraftParams(max_tokens=4, cutoff=0.02),
+        "cutoff_recovery": 0.01,
+        "cutoff_decay": 0.01,
+        "n_seq_partitions": 24,
+    }
     base.update(overrides)
     return EngineConfig(**base)
 

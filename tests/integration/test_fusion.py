@@ -34,11 +34,11 @@ from tests.integration.test_worker_protocol import decode_pieces
 
 
 def functional_cfg(**overrides) -> EngineConfig:
-    base = dict(
-        draft=DraftParams(max_tokens=4, cutoff=0.02),
-        cutoff_recovery=0.01,
-        cutoff_decay=0.01,
-    )
+    base = {
+        "draft": DraftParams(max_tokens=4, cutoff=0.02),
+        "cutoff_recovery": 0.01,
+        "cutoff_decay": 0.01,
+    }
     base.update(overrides)
     return EngineConfig(**base)
 

@@ -78,9 +78,7 @@ def test_loss_draws_are_deterministic():
     def run_once():
         k = SimKernel()
         link = _faulty(k, [LinkFault(0, 1, loss_rate=0.5)])
-        arrivals = []
-        for _ in range(64):
-            arrivals.append(link.transmit(8, lambda: None))
+        arrivals = [link.transmit(8, lambda: None) for _ in range(64)]
         k.run()
         return link.n_lost, arrivals
 

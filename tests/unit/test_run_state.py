@@ -64,7 +64,7 @@ class TestInvalidation:
         f.push(a)
         f.push(b)
         dead = f.invalidate_after(10)
-        assert set(r.run_id for r in dead) == {1, 2}
+        assert {r.run_id for r in dead} == {1, 2}
         assert a.cancelled and b.cancelled
 
     def test_runs_before_divergence_survive(self):
