@@ -26,7 +26,14 @@ attention kernel.  Three scenarios:
   actually fired (retransmits, a restart, re-prefilled tokens), and
   reporting the faulty run's wall throughput.  Tracked with a
   *non-gating* warning — recovery wall cost may drift without failing
-  the bench job (the no-fault path stays under the hard gate).
+  the bench job (the no-fault path stays under the hard gate);
+- ``serving_cluster``: a multi-turn conversation stream served by a K=4
+  ``EngineCluster`` under three routing policies (random, least-loaded,
+  prefix-affinity), asserting byte-identical outputs across policies
+  and that prefix-affinity beats random placement on cluster-wide
+  prefix hit rate and mean TTFT (simulated time: deterministic), and
+  reporting the affinity run's wall throughput as
+  ``cluster_tokens_per_sec``.
 
 Results are written to ``BENCH_hotpath.json`` next to the repo root,
 together with the recorded pre-PR baseline, so the perf trajectory is
@@ -55,6 +62,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 import numpy as np  # noqa: E402
 
 from repro import (  # noqa: E402
+    ClusterConfig,
     EngineConfig,
     FunctionalBackend,
     GenerationJob,
@@ -65,6 +73,7 @@ from repro import (  # noqa: E402
     Workload,
     cluster_c,
     get_pair,
+    run_cluster,
     run_engine,
     run_serving,
 )
@@ -79,12 +88,14 @@ from repro.models.transformer import perturbed_copy  # noqa: E402
 from repro.util.units import Gbps, KiB  # noqa: E402
 from repro.spec.draft import DraftParams  # noqa: E402
 from repro.workloads import (  # noqa: E402
+    MultiTurnTemplate,
     SharedPrefixTemplate,
     cloud_edge_arrivals,
     cloud_edge_cluster,
     cloud_edge_fault_plan,
     cloud_edge_prompts,
     make_prompt,
+    multiturn_arrivals,
 )
 
 #: Pre-PR baseline, measured at the PR-2 parent commit (6460791) on the
@@ -502,6 +513,84 @@ def bench_serving_faulty(smoke: bool):
     return total / wall, s.retransmits, s.reprefilled_tokens
 
 
+def bench_serving_cluster(smoke: bool):
+    """Multi-replica cluster serving: the router ablation's scenario.
+
+    A multi-turn conversation stream (every session's turn N+1 prompt
+    extends turn N) served by a K=4 :class:`repro.serve.EngineCluster`
+    under three routing policies — random, least-loaded, and
+    prefix-affinity.  Affinity routing sends a session's follow-up turns
+    to the replica whose radix tree holds the previous turn's KV, so its
+    cluster-wide ``prefix_hit_rate`` must beat random placement (which
+    scatters turns across replicas whose caches never saw the prefix)
+    and its mean TTFT must drop with it.  Both are simulated-time /
+    cache-bookkeeping numbers: deterministic on any host.  Asserted
+    inline here; the affinity hit rate is additionally floored in
+    ``WIDTH_FLOORS`` so the record tracks it per PR.
+
+    Returns ``(tokens_per_sec, affinity_hit, random_hit, least_hit,
+    affinity_ttft, random_ttft)`` where ``tokens_per_sec`` is the
+    affinity run's generated tokens per *wall* second — the router,
+    lockstep co-simulation, and per-replica feeds are host code on the
+    cluster hot path.
+    """
+    n_sessions = 4 if smoke else 8
+    n_turns = 3 if smoke else 4
+    n_generate = 8 if smoke else 16
+    k = 4
+    pair = get_pair("dolphin+tinyllama")
+    template = MultiTurnTemplate(n_turns=n_turns, seed=5)
+    workload = Workload(
+        jobs=tuple(
+            GenerationJob(prompt=p, n_generate=n_generate)
+            for p in template.prompts(n_sessions, pair.target_arch.vocab)
+        ),
+        arrivals=multiturn_arrivals(
+            n_sessions, n_turns, turn_gap=45.0, session_rate=0.5, seed=9
+        ),
+        sessions=template.sessions(n_sessions),
+    )
+    cfg = EngineConfig(n_seq_partitions=24, prefix_cache=True)
+
+    def run_once(routing: str, affinity: str):
+        clusters = [cluster_c(4) for _ in range(k)]
+        backends = [OracleBackend(pair, head_node=c.nodes[0]) for c in clusters]
+        t0 = time.perf_counter()
+        report = run_cluster(
+            PipeInferEngine, backends, clusters, workload,
+            cluster_config=ClusterConfig(
+                n_replicas=k, routing=routing, affinity=affinity
+            ),
+            config=cfg,
+        )
+        return report, time.perf_counter() - t0
+
+    rand, _ = run_once("random", "none")
+    least, _ = run_once("least_loaded", "none")
+    aff, wall = run_once("prefix_affinity", "session")
+    assert aff.outputs() == rand.outputs() == least.outputs(), (
+        "routing policy changed served tokens — placement must be "
+        "timing-only"
+    )
+    assert aff.prefix_hit_rate > rand.prefix_hit_rate, (
+        f"prefix-affinity routing must beat random placement on cluster "
+        f"hit rate: {aff.prefix_hit_rate:.3f} vs {rand.prefix_hit_rate:.3f}"
+    )
+    assert aff.ttft_mean < rand.ttft_mean, (
+        f"prefix-affinity routing must beat random placement on mean "
+        f"TTFT: {aff.ttft_mean:.2f}s vs {rand.ttft_mean:.2f}s"
+    )
+    total = sum(aff.token_counts().values())
+    return (
+        total / wall,
+        aff.prefix_hit_rate,
+        rand.prefix_hit_rate,
+        least.prefix_hit_rate,
+        aff.ttft_mean,
+        rand.ttft_mean,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
@@ -520,6 +609,7 @@ TRACKED_METRICS = (
     "serving_tokens_per_sec",
     "serving_prefix_tokens_per_sec",
     "serving_faulty_tokens_per_sec",
+    "cluster_tokens_per_sec",
 )
 
 #: Deterministic count metrics compared *without* host-speed scaling
@@ -559,6 +649,13 @@ WIDTH_FLOORS = {
     "smoke_kernel_events_speedup_vs_reference": 1.4,
     "kernel_event_coalescing": 4,
     "smoke_kernel_event_coalescing": 4,
+    # Prefix-affinity routing's cluster-wide hit rate must stay above
+    # what random placement measures on the same stream (0.431 full,
+    # 0.354 smoke) — deterministic simulated-time bookkeeping, so the
+    # floor sits well above random and below the measured affinity
+    # rates (0.667 full, 0.583 smoke).
+    "cluster_affinity_hit_rate": 0.5,
+    "smoke_cluster_affinity_hit_rate": 0.45,
 }
 
 #: Deterministic ceilings the gate enforces (value must stay *below*):
@@ -597,6 +694,14 @@ def run(smoke: bool) -> dict:
     results["serving_faulty_tokens_per_sec"] = faulty
     results["serving_faulty_retransmits"] = retx
     results["serving_faulty_reprefilled_tokens"] = reprefilled
+    (cluster, aff_hit, rand_hit, least_hit,
+     aff_ttft, rand_ttft) = bench_serving_cluster(smoke)
+    results["cluster_tokens_per_sec"] = cluster
+    results["cluster_affinity_hit_rate"] = aff_hit
+    results["cluster_random_hit_rate"] = rand_hit
+    results["cluster_least_loaded_hit_rate"] = least_hit
+    results["cluster_affinity_ttft_mean"] = aff_ttft
+    results["cluster_random_ttft_mean"] = rand_ttft
     return results
 
 

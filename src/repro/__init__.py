@@ -48,8 +48,17 @@ from repro.faults import (
     LinkFault,
     StragglerSpec,
 )
-from repro.metrics import EngineReport, RequestReport, ServingReport
-from repro.serve import Workload, make_workload, run_serving
+from repro.metrics import ClusterReport, EngineReport, RequestReport, ServingReport
+from repro.serve import (
+    ClusterConfig,
+    EngineCluster,
+    Replica,
+    RoutingPolicy,
+    Workload,
+    make_workload,
+    run_cluster,
+    run_serving,
+)
 from repro.models import (
     CPU_PAIRS,
     GPU_PAIRS,
@@ -90,9 +99,15 @@ __all__ = [
     "StragglerSpec",
     "Workload",
     "make_workload",
+    "Replica",
+    "RoutingPolicy",
+    "ClusterConfig",
+    "EngineCluster",
+    "run_cluster",
     "EngineReport",
     "RequestReport",
     "ServingReport",
+    "ClusterReport",
     "CPU_PAIRS",
     "GPU_PAIRS",
     "MODEL_ZOO",

@@ -15,6 +15,7 @@ with TTFT/ITL/queue-wait percentiles and stream throughput.
 from repro.metrics.collectors import MetricsCollector, RunStats
 from repro.metrics.percentiles import p50, p95, p99, percentile
 from repro.metrics.report import (
+    ClusterReport,
     EngineReport,
     RequestReport,
     ServingReport,
@@ -24,6 +25,7 @@ from repro.metrics.report import (
 __all__ = [
     "MetricsCollector",
     "RunStats",
+    "ClusterReport",
     "EngineReport",
     "RequestReport",
     "ServingReport",

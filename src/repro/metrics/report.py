@@ -230,6 +230,72 @@ class ServingReport:
         return {r.req_id: list(r.tokens) for r in self.requests}
 
 
+@dataclass
+class ClusterReport:
+    """Aggregate view of one :class:`repro.serve.EngineCluster` run.
+
+    ``merged`` treats the whole cluster as a single serving system: its
+    percentiles, throughput, and ``prefix_hit_rate`` are computed over
+    the union of every replica's requests on the shared absolute
+    timeline (so cluster throughput reflects wall-clock overlap, not a
+    sum of per-replica rates).  ``per_replica`` keeps each replica's own
+    :class:`ServingReport` for breakdowns — ``None`` for replicas the
+    router never sent a request to.
+
+    The routing counters record what the router actually did:
+    ``assignments`` maps every req_id to the replica that served it,
+    ``spills`` counts backpressure diversions off the policy's first
+    choice, ``migrations`` counts queued requests stolen to a cooler
+    replica, and ``session_affinity_hits`` counts follow-up turns that
+    landed on their session's pinned replica.
+    """
+
+    merged: ServingReport
+    per_replica: List[Optional[ServingReport]]
+    routing: str
+    affinity: str
+    n_replicas: int
+    #: req_id -> replica index that finally served it.
+    assignments: Dict[int, int] = field(default_factory=dict)
+    #: Requests routed to each replica (post-spill, post-migration).
+    routed: List[int] = field(default_factory=list)
+    spills: int = 0
+    migrations: int = 0
+    session_affinity_hits: int = 0
+
+    @property
+    def throughput(self) -> float:
+        return self.merged.throughput
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        return self.merged.prefix_hit_rate
+
+    @property
+    def ttft_mean(self) -> float:
+        return self.merged.ttft_mean
+
+    @property
+    def makespan(self) -> float:
+        return self.merged.makespan
+
+    @property
+    def n_requests(self) -> int:
+        return self.merged.n_requests
+
+    def outputs(self) -> Dict[int, List[int]]:
+        """Generated tokens per request id, cluster-wide."""
+        return self.merged.outputs()
+
+    def token_counts(self) -> Dict[int, int]:
+        """Generated-token count per request id, cluster-wide."""
+        return self.merged.token_counts()
+
+    def replica_throughputs(self) -> List[float]:
+        """Per-replica throughput (0.0 for replicas that served nothing)."""
+        return [r.throughput if r is not None else 0.0 for r in self.per_replica]
+
+
 def aggregate(reports: Sequence[EngineReport]) -> EngineReport:
     """Average repeated runs of the same configuration (paper: 10 reps)."""
     if not reports:

@@ -5,16 +5,42 @@ system: a :class:`Workload` (jobs + arrival trace) is admitted FCFS by a
 :class:`RequestScheduler` into one long-lived pipeline, and the engine's
 serving head multiplexes work across the active requests.  See
 :mod:`repro.serve.head` for the two head disciplines and
-:func:`run_serving` for the entry point.
+:func:`run_serving` for the single-pipeline entry point.
+
+Above the single pipeline sits the cluster layer
+(:mod:`repro.serve.cluster`): a :class:`Replica` bundles one pipeline
+behind a uniform admit/drain/report surface, and an
+:class:`EngineCluster` runs K of them behind a prefix/session-aware
+:class:`Router` — see ``docs/serving-cluster.md``.
 """
 
+from repro.serve.cluster import (
+    ClusterConfig,
+    EngineCluster,
+    Replica,
+    Router,
+    RoutingPolicy,
+    run_cluster,
+)
 from repro.serve.run import make_workload, run_serving
-from repro.serve.scheduler import Request, RequestScheduler, Workload
+from repro.serve.scheduler import (
+    ReplicaFeed,
+    Request,
+    RequestScheduler,
+    Workload,
+)
 
 __all__ = [
     "Request",
     "RequestScheduler",
+    "ReplicaFeed",
     "Workload",
     "run_serving",
     "make_workload",
+    "Replica",
+    "Router",
+    "RoutingPolicy",
+    "ClusterConfig",
+    "EngineCluster",
+    "run_cluster",
 ]

@@ -123,6 +123,9 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
         if cfg.prefix_cache
         else None
     )
+    # Exposed so the cluster router's prefix-affinity policy can probe this
+    # replica's radix tree (a pure match, no pins) at routing time.
+    engine.prefix_cache = cache
 
     injector = engine.injector
     #: Run ids flushed by crash recovery: their logits (if a surviving
@@ -374,7 +377,13 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
             if not proposed[ctx.req_id]:
                 # Draft confidence halted this request's speculation.
                 ctx.cutoff.on_failed_idle()
-        if progressed:
+        if progressed or ep.iprobe(last_target, Tag.LOGITS):
+            # Re-enter the loop when the round dispatched — or when
+            # logits landed *while the draft round computed*: their
+            # delivery notified the arrival watchers before idle() could
+            # park one, so parking now would sleep through input that is
+            # already in the mailbox (a deadlock once no further traffic
+            # arrives to re-wake the head).
             step()
         else:
             idle()
@@ -401,11 +410,16 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
         nxt = scheduler.next_arrival()
         if nxt is not None and nxt > kernel.now:
             kernel.call_at(nxt, step)
+        elif nxt is None and scheduler.stream_open():
+            # Push-mode feed (cluster serving) with nothing queued yet:
+            # park until the router pushes a request (it notifies this
+            # endpoint's arrival watchers) instead of burning idle polls.
+            arrival_step(None)
         else:
             kernel.call_after(cfg.idle_poll, step)
 
     def step() -> None:
-        while active or scheduler.has_pending():
+        while active or scheduler.has_pending() or scheduler.stream_open():
             if engine._fault_events:
                 engine._fault_events.clear()
                 recover_from_restart()
@@ -578,7 +592,16 @@ def sequential_serving_head(engine, scheduler: RequestScheduler) -> Generator:
     base_metrics = engine.metrics
     reports: List[RequestReport] = []
 
-    while scheduler.has_pending():
+    while scheduler.has_pending() or scheduler.stream_open():
+        if not scheduler.has_pending():
+            # Push-mode feed (cluster serving): park until the router
+            # pushes the next request or closes the stream — both notify
+            # this endpoint's arrival watchers.
+            fut = kernel.future(f"feed-wait@{engine.head_rank()}")
+            fut.detail = "wait_for_routed_request"
+            engine.ep()._arrival_watchers.append(fut)
+            yield fut
+            continue
         nxt = scheduler.peek_next()
         if nxt.arrival > kernel.now:
             yield Delay(nxt.arrival - kernel.now)

@@ -1,16 +1,23 @@
-"""Entry point: run a workload of requests through one simulated pipeline."""
+"""Entry point: run a workload of requests through one simulated pipeline.
+
+``run_serving`` is the single-pipeline (K=1) path: it builds one
+:class:`~repro.serve.cluster.Replica` — the same bundle the
+multi-replica :class:`~repro.serve.cluster.EngineCluster` instantiates K
+times — feeds it the whole workload, and returns its report.  The
+construction and execution order inside ``Replica`` matches this
+module's historical body exactly, so results are byte-identical to
+every earlier release.
+"""
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.cluster.kernel import SimKernel, run_to_completion
 from repro.cluster.topology import Cluster
-from repro.comm.mpi_sim import Network
 from repro.engines.backend import Backend
 from repro.engines.base import EngineConfig, GenerationJob
-from repro.metrics.collectors import MetricsCollector
 from repro.metrics.report import ServingReport
+from repro.serve.cluster import Replica
 from repro.serve.scheduler import RequestScheduler, Workload
 
 
@@ -44,42 +51,19 @@ def run_serving(
             equivalence suite uses it to prove on/off consumption-order
             identity.  Leave None (the default) on the hot path.
     """
-    config = config or EngineConfig()
-    kernel = SimKernel()
-    network = Network(kernel, cluster)
-    if trace is not None:
-        network.trace = trace
-    metrics = MetricsCollector()
-    injector = None
-    if fault_plan is not None and not fault_plan.is_empty():
-        from repro.faults import FaultInjector  # cycle avoidance
-
-        injector = FaultInjector(fault_plan)
-        injector.install(kernel, network, metrics)
-    engine = engine_factory(backend, network, config, metrics)
-    if injector is not None:
-        engine.injector = injector
-    scheduler = RequestScheduler(workload)
-    procs = engine.spawn_serving(kernel, scheduler)
-    if injector is not None:
-        injector.attach_engine(engine)
-    run_to_completion(kernel, procs)
-    requests = engine.request_reports
-    report = ServingReport.from_requests(
-        engine.name, cluster.size, requests, extra_stats=metrics.stats
+    replica = Replica(
+        0,
+        engine_factory,
+        backend,
+        cluster,
+        config=config,
+        fault_plan=fault_plan,
+        trace=trace,
     )
-    # Busy fractions over the serving makespan (head + workers).
-    report.utilization = metrics.utilization(total_time=report.makespan)
-    # Event-core efficiency: process resumes executed vs messages made
-    # available to receivers — the batched-inbox hand-off drives this
-    # ratio toward one resume per delivery event (< 1 message-wise).
-    report.n_resumes = kernel.n_resumes
-    report.n_delivered = network.n_delivered
-    report.fusion_width = metrics.fusion_width_hist()
-    report.draft_batch_width = dict(metrics.draft_batch_width)
-    # Prefix-cache lifecycle counters (empty dict when the cache is off
-    # or the head is a baseline without one).
-    report.prefix_cache_stats = dict(getattr(engine, "prefix_cache_stats", {}))
+    replica.start(RequestScheduler(workload))
+    replica.drain()
+    report = replica.report()
+    assert report is not None  # workloads hold >= 1 job
     return report
 
 
@@ -87,8 +71,12 @@ def make_workload(
     jobs: Sequence[GenerationJob],
     arrivals: Sequence[float] = (),
     max_active: Optional[int] = None,
+    sessions: Sequence[Optional[int]] = (),
 ) -> Workload:
     """Convenience constructor accepting plain sequences."""
     return Workload(
-        jobs=tuple(jobs), arrivals=tuple(arrivals), max_active=max_active
+        jobs=tuple(jobs),
+        arrivals=tuple(arrivals),
+        max_active=max_active,
+        sessions=tuple(sessions),
     )

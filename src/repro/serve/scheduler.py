@@ -23,11 +23,17 @@ from repro.engines.base import GenerationJob
 
 @dataclass(frozen=True)
 class Request:
-    """One queued generation request."""
+    """One queued generation request.
+
+    ``session`` tags requests that belong to one multi-turn conversation
+    (all of a session's turns share it); the cluster router uses it for
+    session-affinity routing.  Single-shot traffic leaves it None.
+    """
 
     req_id: int
     job: GenerationJob
     arrival: float
+    session: Optional[int] = None
 
 
 def worst_case_cell_demand(job: GenerationJob, config) -> int:
@@ -117,11 +123,17 @@ class Workload:
             request is queued at t=0 (closed loop).
         max_active: concurrency cap on simultaneously admitted requests
             (None = bounded only by KV partitions).
+        sessions: optional per-job session tags aligned with ``jobs``
+            (multi-turn traces tag every turn of one conversation with
+            the same id; see
+            :meth:`repro.workloads.prompts.MultiTurnTemplate.sessions`).
+            Empty means untagged — single-shot traffic.
     """
 
     jobs: Tuple[GenerationJob, ...]
     arrivals: Tuple[float, ...] = ()
     max_active: Optional[int] = None
+    sessions: Tuple[Optional[int], ...] = ()
 
     def __post_init__(self) -> None:
         if not self.jobs:
@@ -135,12 +147,18 @@ class Workload:
             raise ValueError("arrival times must be non-negative")
         if self.max_active is not None and self.max_active < 1:
             raise ValueError(f"max_active must be positive, got {self.max_active}")
+        if self.sessions and len(self.sessions) != len(self.jobs):
+            raise ValueError(
+                f"session tag length {len(self.sessions)} does not match "
+                f"{len(self.jobs)} jobs"
+            )
 
     def requests(self) -> List[Request]:
         """The jobs as FCFS-ordered :class:`Request` records."""
         arrivals = self.arrivals or (0.0,) * len(self.jobs)
+        sessions = self.sessions or (None,) * len(self.jobs)
         reqs = [
-            Request(req_id=i, job=job, arrival=arrivals[i])
+            Request(req_id=i, job=job, arrival=arrivals[i], session=sessions[i])
             for i, job in enumerate(self.jobs)
         ]
         return sorted(reqs, key=lambda r: (r.arrival, r.req_id))
@@ -150,17 +168,41 @@ class RequestScheduler:
     """FCFS admission queue driven by the serving head."""
 
     def __init__(self, workload: Workload) -> None:
-        self.workload = workload
+        self.workload: Optional[Workload] = workload
         self._queue: List[Request] = workload.requests()
         self._next = 0
+        self._max_active = workload.max_active
         self.n_admitted = 0
         self.n_completed = 0
         #: req_id -> completion timestamp.
         self.completed_at: Dict[int, float] = {}
 
+    @classmethod
+    def from_requests(
+        cls, requests: List[Request], max_active: Optional[int] = None
+    ) -> "RequestScheduler":
+        """A scheduler over pre-routed requests, global req_ids preserved.
+
+        The cluster's static routing path partitions one workload's FCFS
+        stream across replicas; rebuilding per-replica ``Workload``s
+        would renumber ``req_id``s (they are positional), so the router
+        hands each replica its slice of already-numbered requests.
+        """
+        if not requests:
+            raise ValueError("scheduler needs at least one request")
+        self = cls.__new__(cls)
+        self.workload = None
+        self._queue = sorted(requests, key=lambda r: (r.arrival, r.req_id))
+        self._next = 0
+        self._max_active = max_active
+        self.n_admitted = 0
+        self.n_completed = 0
+        self.completed_at = {}
+        return self
+
     @property
     def max_active(self) -> Optional[int]:
-        return self.workload.max_active
+        return self._max_active
 
     @property
     def n_total(self) -> int:
@@ -169,6 +211,16 @@ class RequestScheduler:
     def has_pending(self) -> bool:
         """Requests not yet admitted remain."""
         return self._next < len(self._queue)
+
+    def stream_open(self) -> bool:
+        """Whether more requests may still be fed in.
+
+        A static workload is fully known up front, so the stream is never
+        open: the serving head may exit as soon as the queue drains.  The
+        cluster router's :class:`ReplicaFeed` overrides this — its head
+        must stay up until the router closes the stream.
+        """
+        return False
 
     def all_done(self) -> bool:
         return self.n_completed == len(self._queue)
@@ -191,7 +243,7 @@ class RequestScheduler:
 
     def may_admit(self, n_active: int) -> bool:
         """Does the concurrency cap allow another admission?"""
-        cap = self.workload.max_active
+        cap = self._max_active
         return cap is None or n_active < cap
 
     def pop_ready(self, now: float) -> Optional[Request]:
@@ -208,3 +260,86 @@ class RequestScheduler:
             raise ValueError(f"request {req_id} completed twice")
         self.completed_at[req_id] = t
         self.n_completed += 1
+
+
+class ReplicaFeed(RequestScheduler):
+    """Push-mode admission queue for one cluster replica.
+
+    Where :class:`RequestScheduler` holds a whole static workload from the
+    start, a feed begins empty and receives requests one at a time as the
+    cluster's router assigns them (:meth:`push`), in global arrival order.
+    The serving head treats it exactly like the static scheduler except
+    that the stream stays *open* — the head parks instead of shutting the
+    pipeline down when the queue drains — until the router calls
+    :meth:`close` after the last request has been routed.
+
+    The queue-depth accessors feed the router's load signals: ``depth``
+    counts requests in the system (queued or active, not yet completed),
+    ``n_waiting`` only those not yet admitted.  :meth:`steal_tail` lets
+    the router migrate the most recently routed request away while it is
+    still waiting — admitted requests hold KV state and never move.
+    """
+
+    def __init__(self, max_active: Optional[int] = None) -> None:
+        self._queue: List[Request] = []
+        self._next = 0
+        self._max_active = max_active
+        self.n_admitted = 0
+        self.n_completed = 0
+        self.completed_at: Dict[int, float] = {}
+        self.closed = False
+        self.n_pushed = 0
+
+    @property
+    def workload(self):  # pragma: no cover - guards accidental static use
+        raise AttributeError("a ReplicaFeed has no static workload")
+
+    @property
+    def max_active(self) -> Optional[int]:
+        return self._max_active
+
+    def may_admit(self, n_active: int) -> bool:
+        cap = self._max_active
+        return cap is None or n_active < cap
+
+    def stream_open(self) -> bool:
+        return not self.closed
+
+    @property
+    def depth(self) -> int:
+        """Requests in the system: routed here and not yet completed."""
+        return len(self._queue) - self.n_completed
+
+    @property
+    def n_waiting(self) -> int:
+        """Requests routed here but not yet admitted into the pipeline."""
+        return len(self._queue) - self._next
+
+    def push(self, req: Request, migrated: bool = False) -> None:
+        """Append one routed request; must arrive in global FCFS order.
+
+        Migrated requests (stolen from another replica's tail) may carry
+        an arrival earlier than this queue's tail — they simply wait
+        their queue turn — so ``migrated=True`` skips the order guard.
+        """
+        if self.closed:
+            raise ValueError("cannot push into a closed feed")
+        if not migrated and self._queue and req.arrival < self._queue[-1].arrival:
+            raise ValueError(
+                f"push out of arrival order: {req.arrival} after "
+                f"{self._queue[-1].arrival}"
+            )
+        self._queue.append(req)
+        self.n_pushed += 1
+
+    def steal_tail(self) -> Optional[Request]:
+        """Take back the most recently pushed, not-yet-admitted request."""
+        if len(self._queue) <= self._next:
+            return None
+        req = self._queue.pop()
+        self.n_pushed -= 1
+        return req
+
+    def close(self) -> None:
+        """No more requests will be routed here; heads may drain and exit."""
+        self.closed = True

@@ -183,3 +183,15 @@ class MultiTurnTemplate:
                 for t in range(self.n_turns)
             )
         return tuple(out)
+
+    def sessions(self, n_sessions: int) -> Tuple[int, ...]:
+        """Per-request session tags aligned with :meth:`prompts`.
+
+        Session-major like the prompts: ``(0,) * n_turns + (1,) * ...``.
+        Feed into :class:`repro.serve.Workload` ``sessions=`` so the
+        cluster router's session affinity can pin a conversation's turns
+        to the replica whose radix tree holds its earlier turns.
+        """
+        return tuple(
+            s for s in range(n_sessions) for _ in range(self.n_turns)
+        )
