@@ -21,6 +21,13 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every figure and table.
 """
 
+from repro.api import (
+    AsyncFrontend,
+    ServingSession,
+    StreamHub,
+    TokenStream,
+    stream_serving,
+)
 from repro.cluster import (
     Cluster,
     cluster_a,
@@ -74,6 +81,11 @@ from repro.spec import DraftParams
 __version__ = "1.0.0"
 
 __all__ = [
+    "AsyncFrontend",
+    "ServingSession",
+    "StreamHub",
+    "TokenStream",
+    "stream_serving",
     "Cluster",
     "cluster_a",
     "cluster_b",

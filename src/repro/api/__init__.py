@@ -1,0 +1,27 @@
+"""Streaming serving front-end: token streams, cancellation, SLOs.
+
+The :mod:`repro.api` package layers an OpenAI-style streaming surface on
+the discrete-event serving core:
+
+- :class:`TokenStream` / :class:`StreamHub` — per-request streams fed by
+  the serving head at the sim instant verification accepts each token;
+- :func:`stream_serving` — the batch ``run_serving`` path with streams
+  recorded (byte-identical report);
+- :class:`ServingSession` — incremental submit/step/cancel driving of a
+  multi-replica cluster;
+- :class:`AsyncFrontend` — an in-process async client multiplexing
+  concurrent connections over one cluster, with disconnect-cancel.
+"""
+
+from repro.api.frontend import AsyncFrontend
+from repro.api.run import stream_serving
+from repro.api.session import ServingSession
+from repro.api.stream import StreamHub, TokenStream
+
+__all__ = [
+    "AsyncFrontend",
+    "ServingSession",
+    "StreamHub",
+    "TokenStream",
+    "stream_serving",
+]

@@ -1,0 +1,113 @@
+"""An in-process OpenAI-ish streaming client over a :class:`ServingSession`.
+
+:class:`AsyncFrontend` multiplexes N concurrent client coroutines over
+one :class:`~repro.serve.cluster.EngineCluster`: each call to
+:meth:`stream` submits a request and async-iterates its accepted tokens
+as the shared co-simulation advances.  The simulation itself is
+single-threaded and deterministic — concurrency here is *interleaving*,
+not parallelism: whichever coroutine holds the lock steps the sim, and
+every other live stream drinks the tokens that step produced.
+
+Disconnect semantics mirror a dropped HTTP connection: exiting the
+async generator early (``break``, task cancellation, garbage
+collection) cancels the request mid-flight — the serving head invalidates
+its speculation, releases its canonical KV, and donates the verified
+prefix to the prefix cache.
+
+No wall-clock coupling: the frontend never sleeps on real time (only
+``asyncio.sleep(0)`` yields to interleave coroutines), so tests and
+examples run at simulation speed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import AsyncIterator, Optional
+
+from repro.api.session import ServingSession
+from repro.api.stream import TokenStream
+from repro.engines.base import GenerationJob
+from repro.serve.cluster import EngineCluster
+
+
+class AsyncFrontend:
+    """Async streaming facade over one serving cluster.
+
+    Args:
+        cluster: a fresh (not yet opened) :class:`EngineCluster`.
+        max_active: per-replica concurrency cap.
+    """
+
+    def __init__(
+        self, cluster: EngineCluster, max_active: Optional[int] = None
+    ) -> None:
+        self.session = ServingSession(cluster, max_active=max_active)
+        #: Serializes sim stepping: one coroutine advances, all observe.
+        self._lock = asyncio.Lock()
+
+    async def stream(
+        self,
+        prompt,
+        n_generate: int = 32,
+        arrival: Optional[float] = None,
+        priority: int = 0,
+        ttft_slo: Optional[float] = None,
+        itl_slo: Optional[float] = None,
+        session: Optional[int] = None,
+    ) -> AsyncIterator[int]:
+        """Submit a request and yield its tokens as verification accepts them.
+
+        ``prompt`` is a token sequence or a prebuilt
+        :class:`GenerationJob` (in which case ``n_generate`` is ignored).
+        Exiting the iterator before exhaustion cancels the request
+        mid-flight.
+        """
+        if isinstance(prompt, GenerationJob):
+            job = prompt
+        else:
+            job = GenerationJob(prompt=tuple(prompt), n_generate=n_generate)
+        async with self._lock:
+            ts = self.session.submit(
+                job,
+                arrival=arrival,
+                priority=priority,
+                ttft_slo=ttft_slo,
+                itl_slo=itl_slo,
+                session=session,
+            )
+        cursor = 0
+        try:
+            while True:
+                fresh = ts.take(cursor)
+                if fresh:
+                    cursor += len(fresh)
+                    for tok in fresh:
+                        yield tok
+                    continue
+                if ts.closed:
+                    return
+                async with self._lock:
+                    # Another coroutine may have advanced the sim while
+                    # we waited on the lock; only step if still starved.
+                    if not ts.take(cursor) and not ts.closed:
+                        if not self.session.step():
+                            # Nothing streamed this timestamp batch; if
+                            # the sim is fully drained and the stream is
+                            # still open the head is parked waiting for
+                            # traffic that only a drain can flush.
+                            if self.session._next_event_time() is None:
+                                self.session.drain()
+                # Let sibling streams consume what this step produced.
+                await asyncio.sleep(0)
+        finally:
+            if not ts.closed:
+                async with self._lock:
+                    self.session.cancel(ts)
+
+    async def complete(self, prompt, **kwargs) -> list:
+        """Non-streaming convenience: collect the full output."""
+        return [tok async for tok in self.stream(prompt, **kwargs)]
+
+    def report(self):
+        """Drain the session and return the final ClusterReport."""
+        return self.session.report()

@@ -1,0 +1,53 @@
+"""Streamed single-pipeline serving: the batch path plus live streams.
+
+``stream_serving`` is ``run_serving`` with a :class:`StreamHub` attached
+to the engine before the head spawns: the simulation is the same object
+graph, built in the same order, executing the same events — the hub is a
+pure observer — so the returned report is *field-identical* to the batch
+path's, and each request's streamed token sequence equals its report
+tokens.  The property suite pins both.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.api.stream import StreamHub
+from repro.cluster.topology import Cluster
+from repro.engines.backend import Backend
+from repro.engines.base import EngineConfig
+from repro.metrics.report import ServingReport
+from repro.serve.cluster import Replica
+from repro.serve.scheduler import RequestScheduler, Workload
+
+
+def stream_serving(
+    engine_factory,
+    backend: Backend,
+    cluster: Cluster,
+    workload: Workload,
+    config: Optional[EngineConfig] = None,
+    fault_plan=None,
+) -> Tuple[ServingReport, StreamHub]:
+    """Serve ``workload`` with per-request token streams recorded.
+
+    Same contract as :func:`repro.serve.run.run_serving`, returning the
+    identical report *plus* the hub of closed token streams — each
+    stream's events carry the sim instants verification accepted its
+    tokens.
+    """
+    replica = Replica(
+        0,
+        engine_factory,
+        backend,
+        cluster,
+        config=config,
+        fault_plan=fault_plan,
+    )
+    hub = StreamHub()
+    replica.engine.stream_hub = hub
+    replica.start(RequestScheduler(workload))
+    replica.drain()
+    report = replica.report()
+    assert report is not None  # workloads hold >= 1 job
+    return report, hub

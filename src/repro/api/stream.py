@@ -1,0 +1,166 @@
+"""Per-request token streams: observers over the serving head's acceptances.
+
+A :class:`TokenStream` is the streaming front-end's view of one request:
+the serving head pushes every accepted token into it *at the simulated
+instant verification accepts it* (see the hooks in
+:func:`repro.core.head.verify_run_logits` and
+:func:`~repro.core.head.process_prefill_logits`), and closes it when the
+request finalizes — normally or by cancellation.  Streams are pure
+observers: they record, they never feed anything back into the
+simulation, so attaching a :class:`StreamHub` leaves served tokens and
+report fields byte-identical to an unobserved run.
+
+Verification can overshoot a request's token budget (a batch accepts
+several tokens at once); the stream clips at ``n_generate`` exactly like
+:meth:`~repro.core.run_state.RequestContext.output_tokens`, so the
+streamed sequence always equals the request's report tokens.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class TokenStream:
+    """One request's ordered stream of accepted tokens.
+
+    Attributes:
+        req_id: the owning request.
+        events: ``(sim_time, tokens)`` acceptance records, push order.
+        finished: closed by normal completion.
+        cancelled: closed by client disconnect / cancellation.
+        closed_at: simulated close timestamp (None while live).
+    """
+
+    def __init__(self, req_id: int, budget: Optional[int] = None) -> None:
+        self.req_id = req_id
+        self.budget = budget
+        self.events: List[Tuple[float, Tuple[int, ...]]] = []
+        self._tokens: List[int] = []
+        self.finished = False
+        self.cancelled = False
+        self.closed_at: Optional[float] = None
+        self.on_event: Optional[Callable[["TokenStream"], None]] = None
+
+    # -- producer side (serving head) ---------------------------------------
+
+    def bind_budget(self, budget: int) -> None:
+        """Set the generation budget at admission (clips overshoot)."""
+        if self.budget is None:
+            self.budget = budget
+
+    def push(self, t: float, tokens: Iterable[int]) -> None:
+        """Record tokens accepted at sim instant ``t`` (clipped to budget)."""
+        toks = tuple(tokens)
+        if self.budget is not None:
+            room = self.budget - len(self._tokens)
+            if room <= 0:
+                return
+            toks = toks[:room]
+        if not toks:
+            return
+        self.events.append((t, toks))
+        self._tokens.extend(toks)
+        self._notify()
+
+    def finish(self, t: float) -> None:
+        """Close the stream: the request completed its budget."""
+        if self.closed:
+            return
+        self.finished = True
+        self.closed_at = self._close_time(t)
+        self._notify()
+
+    def cancel(self, t: float) -> None:
+        """Close the stream: the request was cancelled mid-flight."""
+        if self.closed:
+            return
+        self.cancelled = True
+        self.closed_at = self._close_time(t)
+        self._notify()
+
+    def _close_time(self, t: float) -> float:
+        # A verification batch stamps its tokens at the instant its
+        # cumulative sampling delay is paid, which can sit past the
+        # head-loop "now" that closes the stream; never close before the
+        # last delivered token.
+        return max(t, self.events[-1][0]) if self.events else t
+
+    def _notify(self) -> None:
+        if self.on_event is not None:
+            self.on_event(self)
+
+    # -- consumer side -------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self.finished or self.cancelled
+
+    @property
+    def tokens(self) -> List[int]:
+        """Every token streamed so far (budget-clipped), in order."""
+        return list(self._tokens)
+
+    @property
+    def n_tokens(self) -> int:
+        return len(self._tokens)
+
+    def take(self, cursor: int) -> List[int]:
+        """Tokens past ``cursor`` (the caller advances its own cursor)."""
+        return self._tokens[cursor:]
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate the tokens streamed so far (a snapshot, not blocking)."""
+        return iter(list(self._tokens))
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else (
+            "finished" if self.finished else "live"
+        )
+        return f"TokenStream(req={self.req_id}, n={len(self._tokens)}, {state})"
+
+
+class StreamHub:
+    """The per-engine registry of live token streams.
+
+    The serving head looks for ``engine.stream_hub`` at admission and, if
+    present, attaches the admitted request's context to its stream
+    (creating one on demand for requests nobody pre-registered).  The
+    ``version`` counter bumps on every stream event, so a driver can
+    cheaply detect "something streamed since I last looked" between
+    kernel slices without scanning every stream.
+    """
+
+    def __init__(self) -> None:
+        self.streams: Dict[int, TokenStream] = {}
+        self.version = 0
+
+    def open(self, req_id: int, budget: Optional[int] = None) -> TokenStream:
+        """Pre-register a stream for ``req_id`` (the front-end's handle)."""
+        if req_id in self.streams:
+            raise ValueError(f"request {req_id} already has a stream")
+        stream = TokenStream(req_id, budget=budget)
+        stream.on_event = self._bump
+        self.streams[req_id] = stream
+        return stream
+
+    def attach(self, ctx) -> TokenStream:
+        """Bind an admitted request's context to its stream (serving head)."""
+        stream = self.streams.get(ctx.req_id)
+        if stream is None:
+            stream = self.open(ctx.req_id)
+        stream.bind_budget(ctx.job.n_generate)
+        return stream
+
+    def get(self, req_id: int) -> Optional[TokenStream]:
+        return self.streams.get(req_id)
+
+    def _bump(self, _stream: TokenStream) -> None:
+        self.version += 1
+
+    def outputs(self) -> Dict[int, List[int]]:
+        """Streamed tokens per request id (mirror of report ``outputs()``)."""
+        return {rid: s.tokens for rid, s in self.streams.items()}

@@ -502,6 +502,18 @@ class SimKernel:
         """Number of events executed so far (profiling / regression aid)."""
         return self._n_events
 
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the earliest pending event, or None when drained.
+
+        At-now FIFO entries report the current instant.  Pure peek — used
+        by incremental drivers (:class:`repro.api.session.ServingSession`)
+        to advance a simulation one timestamp batch at a time.
+        """
+        if self._fifo:
+            return self.now
+        entry = self._queue.peek()
+        return None if entry is None else entry[0]
+
     def alive_processes(self) -> list[Process]:
         """Processes that have not finished (parked or runnable)."""
         return [p for p in self._processes if p.alive]
@@ -607,6 +619,10 @@ class ReferenceSimKernel:
     @property
     def n_events(self) -> int:
         return self._n_events
+
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the earliest pending event, or None when drained."""
+        return self._heap[0][0] if self._heap else None
 
     def alive_processes(self) -> list[Process]:
         return [p for p in self._processes if p.alive]

@@ -218,6 +218,8 @@ def process_prefill_logits(engine, ctx: RequestContext, payload) -> None:
     ctx.chain.append(first)
     ctx.prefilled = True
     ctx.metrics.mark_prefill_end(engine.net.kernel.now)
+    if ctx.stream is not None:
+        ctx.stream.push(engine.net.kernel.now, (first,))
 
 
 def cancel_run(
@@ -330,6 +332,11 @@ def verify_run_logits(
         ctx.metrics.record_tokens(
             kernel.now + time_base + t, len(outcome.new_tokens)
         )
+        if ctx.stream is not None:
+            # Streamed at the acceptance instant — the same timestamp the
+            # metrics stamp — so a front-end sees tokens exactly when the
+            # head accepts them, not at drain time.
+            ctx.stream.push(kernel.now + time_base + t, outcome.new_tokens)
         ctx.cutoff.on_accepted()
         ops.extend(mb.ops_for_acceptance(rec, len(accepted)))
     release()

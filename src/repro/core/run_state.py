@@ -244,6 +244,17 @@ class RequestContext:
         cached_tokens: prompt tokens materialized from the cross-request
             prefix cache at admission (0 = cache miss or cache off); the
             request's prefill covered only the remaining tail.
+        priority: admission priority (higher admits first among ready
+            requests; 0 for untagged traffic).
+        ttft_slo: deadline on the time to first token, or None (no SLO).
+        itl_slo: per-token inter-token-latency SLO, or None (no SLO).
+        cancelled: the client disconnected mid-flight; the request stops
+            sampling and drains like a completed one, but its report is
+            tagged and its output is whatever was verified by then.
+        stream: optional :class:`repro.api.stream.TokenStream` sink the
+            serving head pushes accepted tokens into at the sim instant
+            verification accepts them.  None outside streaming mode —
+            a pure observer, never consulted by the simulation.
     """
 
     req_id: int
@@ -262,6 +273,11 @@ class RequestContext:
     prefilled: bool = False
     done: bool = False
     cached_tokens: int = 0
+    priority: int = 0
+    ttft_slo: Optional[float] = None
+    itl_slo: Optional[float] = None
+    cancelled: bool = False
+    stream: Any = None
 
     @property
     def n_prompt(self) -> int:

@@ -96,6 +96,12 @@ class EngineConfig:
     #: Shortest prefix match (and donated span) worth a cache-op
     #: transaction; shorter matches prefill from scratch.
     min_match_tokens: int = 8
+    #: Second-hit promotion: donate a prompt's span into the radix tree
+    #: only after the same full prompt has been *seen twice*, keeping the
+    #: tree lean under one-shot traffic.  Off by default; turning it on
+    #: never changes served tokens (donation affects timing/placement
+    #: only — greedy decoding is cache-invariant).
+    prefix_promote_on_second_hit: bool = False
     #: Batched inbox hand-off: coalesced link drains hand each same-instant
     #: delivery run to the destination endpoint in one call, scheduling at
     #: most one resume per parked receiver.  False restores per-message
@@ -192,6 +198,15 @@ class BaseEngine(ABC):
         #: with a single falsy check per loop iteration.
         self.injector = None
         self._fault_events: List[Tuple[str, int]] = []
+        #: Mid-flight cancellation inbox: request ids whose clients
+        #: disconnected.  The serving head drains it each step; unknown
+        #: ids are ignored, so a cluster front-end may broadcast a cancel
+        #: to every replica without tracking placement.
+        self._cancel_requests: List[int] = []
+        #: Streaming hook — a :class:`repro.api.stream.StreamHub` when a
+        #: front-end wants per-request token streams, else None.  A pure
+        #: observer: the simulation never reads it.
+        self.stream_hub = None
         self._worker_procs: dict = {}
         self._procs: List = []
         #: Free lists for the transaction plane's per-message records,
@@ -375,6 +390,16 @@ class BaseEngine(ABC):
 
     def ep(self) -> Endpoint:
         return self.net.endpoint(self.head_rank())
+
+    def cancel_request(self, req_id: int) -> None:
+        """Signal a mid-flight client disconnect for ``req_id``.
+
+        Queues the id for the serving head's next step and wakes a parked
+        head.  Safe to call for requests this engine never saw (no-op) —
+        front-ends broadcast cancels cluster-wide.
+        """
+        self._cancel_requests.append(req_id)
+        self.ep()._notify_watchers()
 
     def send_decode(
         self, dest: int, meta: DecodeMeta, act: Activations

@@ -76,6 +76,13 @@ class RequestReport:
     cross-request prefix cache (metadata copies) instead of prefilled;
     ``prompt_tokens`` is the full prompt length, so
     ``cached_tokens / prompt_tokens`` is the request's prefix hit rate.
+
+    SLO tags ride along from the :class:`~repro.serve.scheduler.Request`:
+    ``ttft_slo`` judges the first token, ``itl_slo`` judges each
+    inter-token gap; ``good_tokens`` counts tokens delivered within their
+    deadline (all of them when no SLO is set).  ``cancelled`` marks a
+    mid-flight client disconnect — ``tokens`` holds whatever was verified
+    before the cancel (empty when it never left the queue).
     """
 
     req_id: int
@@ -88,6 +95,10 @@ class RequestReport:
     stats: RunStats
     prompt_tokens: int = 0
     cached_tokens: int = 0
+    priority: int = 0
+    ttft_slo: Optional[float] = None
+    itl_slo: Optional[float] = None
+    cancelled: bool = False
 
     @property
     def n_tokens(self) -> int:
@@ -106,6 +117,34 @@ class RequestReport:
         if not self.itl_samples:
             return float("inf")
         return sum(self.itl_samples) / len(self.itl_samples)
+
+    @property
+    def good_tokens(self) -> int:
+        """Tokens delivered within their SLO (the goodput numerator).
+
+        The first output token is judged against ``ttft_slo``; each
+        later token against ``itl_slo`` via its inter-token gap.  Unset
+        SLOs always pass.  The hop from the prefill-sampled first token
+        to the first verified token is not a recorded gap, so one token
+        per request can lack a gap sample — it passes (benefit of the
+        doubt, deterministic either way).
+        """
+        n = len(self.tokens)
+        if n == 0:
+            return 0
+        good = 1 if (self.ttft_slo is None or self.ttft <= self.ttft_slo) else 0
+        rest = n - 1
+        if self.itl_slo is None:
+            return good + rest
+        gaps = self.itl_samples[:rest]
+        good += sum(1 for g in gaps if g <= self.itl_slo)
+        return good + (rest - len(gaps))
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of delivered tokens within SLO (0.0 if none delivered)."""
+        n = len(self.tokens)
+        return self.good_tokens / n if n else 0.0
 
 
 @dataclass
@@ -157,6 +196,21 @@ class ServingReport:
     #: one resume per delivery *event* (well below one per message).
     n_resumes: int = 0
     n_delivered: int = 0
+    #: Goodput: tokens delivered within their SLO over the makespan.
+    #: Equals ``throughput`` when no request carries an SLO tag.
+    goodput: float = 0.0
+    #: Aggregate SLO attainment: good tokens over delivered tokens
+    #: (1.0 when nothing was delivered — vacuously attained).
+    slo_attainment: float = 1.0
+    #: Per-request SLO-attainment floors over requests that delivered at
+    #: least one token (1.0 when none did): ``slo_attainment_p95`` is the
+    #: attainment that 95% of requests meet or beat — the lower tail,
+    #: since high attainment is good.
+    slo_attainment_p50: float = 1.0
+    slo_attainment_p95: float = 1.0
+    slo_attainment_p99: float = 1.0
+    #: Requests cancelled mid-flight (client disconnects).
+    n_cancelled: int = 0
 
     @property
     def resumes_per_message(self) -> float:
@@ -181,8 +235,15 @@ class ServingReport:
         end = max(r.finish_time for r in reqs)
         makespan = max(end - start, 0.0)
         n_tokens = sum(r.n_tokens for r in reqs)
-        ttfts = [r.ttft for r in reqs]
-        waits = [r.queue_wait for r in reqs]
+        # Latency percentiles describe served traffic: requests cancelled
+        # before delivering anything carry synthetic timestamps (stamped
+        # at cancel processing) and are excluded — unless the whole
+        # stream was cancelled, in which case they are all we have.
+        served = [r for r in reqs if not (r.cancelled and r.n_tokens == 0)]
+        if not served:
+            served = list(reqs)
+        ttfts = [r.ttft for r in served]
+        waits = [r.queue_wait for r in served]
         gaps = [g for r in reqs for g in r.itl_samples]
         if not gaps:
             gaps = [float("inf")]
@@ -191,8 +252,12 @@ class ServingReport:
         )
         hit_tokens = sum(r.cached_tokens for r in reqs)
         prompt_tokens = sum(r.prompt_tokens for r in reqs)
-        hit = [r.ttft for r in reqs if r.cached_tokens > 0]
-        miss = [r.ttft for r in reqs if r.cached_tokens == 0]
+        hit = [r.ttft for r in served if r.cached_tokens > 0]
+        miss = [r.ttft for r in served if r.cached_tokens == 0]
+        good_tokens = sum(r.good_tokens for r in reqs)
+        attainments = [r.slo_attainment for r in reqs if r.n_tokens > 0]
+        if not attainments:
+            attainments = [1.0]
         return cls(
             strategy=strategy,
             n_nodes=n_nodes,
@@ -215,6 +280,14 @@ class ServingReport:
             ttft_mean=mean(ttfts),
             ttft_mean_hit=mean(hit) if hit else 0.0,
             ttft_mean_miss=mean(miss) if miss else 0.0,
+            goodput=good_tokens / makespan if makespan > 0 else 0.0,
+            slo_attainment=good_tokens / n_tokens if n_tokens else 1.0,
+            # Negate to read the lower tail off upper-tail percentile
+            # helpers; the leading 0.0 normalizes -0.0 back to 0.0.
+            slo_attainment_p50=0.0 - p50([-a for a in attainments]),
+            slo_attainment_p95=0.0 - p95([-a for a in attainments]),
+            slo_attainment_p99=0.0 - p99([-a for a in attainments]),
+            n_cancelled=sum(1 for r in reqs if r.cancelled),
         )
 
     @property
@@ -266,6 +339,18 @@ class ClusterReport:
     @property
     def throughput(self) -> float:
         return self.merged.throughput
+
+    @property
+    def goodput(self) -> float:
+        return self.merged.goodput
+
+    @property
+    def slo_attainment(self) -> float:
+        return self.merged.slo_attainment
+
+    @property
+    def n_cancelled(self) -> int:
+        return self.merged.n_cancelled
 
     @property
     def prefix_hit_rate(self) -> float:

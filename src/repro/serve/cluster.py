@@ -100,6 +100,12 @@ class ClusterConfig:
             replica whose waiting queue exceeds ``queue_cap`` and hand
             them to the least-loaded replica.  Requires ``queue_cap``.
         seed: hash seed for the deterministic routing draws.
+        deadline_service_est: rough per-queued-request service-time
+            estimate (seconds) for deadline-aware spill.  When set, a
+            backpressure spill of a request carrying a ``ttft_slo``
+            prefers replicas whose queue depth times this estimate still
+            fits the deadline, instead of plain least-loaded.  None
+            (default) keeps the historical spill byte-identical.
     """
 
     n_replicas: int = 1
@@ -108,6 +114,7 @@ class ClusterConfig:
     queue_cap: Optional[int] = None
     migration: bool = False
     seed: int = 0
+    deadline_service_est: Optional[float] = None
 
     def __post_init__(self) -> None:
         try:
@@ -133,6 +140,11 @@ class ClusterConfig:
             raise ValueError(
                 "migration needs queue_cap: the cap is the depth "
                 "threshold that triggers stealing"
+            )
+        if self.deadline_service_est is not None and self.deadline_service_est <= 0:
+            raise ValueError(
+                f"deadline_service_est must be positive, got "
+                f"{self.deadline_service_est}"
             )
 
     @property
@@ -318,7 +330,7 @@ class Router:
         if self.cfg.affinity == "session" and req.session is not None:
             pinned = self.session_home.get(req.session)
         choice = pinned if pinned is not None else self._policy_choice(req, replicas)
-        final = self._backpressure(choice, replicas)
+        final = self._backpressure(req, choice, replicas)
         if final != choice:
             self.spills += 1
         elif pinned is not None:
@@ -363,10 +375,23 @@ class Router:
                 return home
         return min(tied, key=lambda i: (replicas[i].depth, i))
 
-    def _backpressure(self, choice: int, replicas: Sequence) -> int:
+    def _backpressure(self, req: Request, choice: int, replicas: Sequence) -> int:
         cap = self.cfg.queue_cap
         if cap is None or replicas[choice].depth < cap:
             return choice
+        est = self.cfg.deadline_service_est
+        if est is not None and req.ttft_slo is not None:
+            # Deadline-aware spill: prefer the least-loaded replica whose
+            # queue, at ~est seconds per queued request, still fits the
+            # TTFT deadline.  Falls through to plain least-loaded when no
+            # replica can make it (never drop).
+            fits = [
+                i
+                for i in range(len(replicas))
+                if replicas[i].depth * est <= req.ttft_slo
+            ]
+            if fits:
+                return min(fits, key=lambda i: (replicas[i].depth, i))
         # Spill to the least-loaded replica; never drop — when every
         # replica is at the cap the least-loaded one still takes it.
         return min(range(len(replicas)), key=lambda i: (replicas[i].depth, i))
@@ -529,26 +554,70 @@ class EngineCluster:
             )
             rep.drain()
 
+    # -- incremental (push-mode) surface ------------------------------------
+    # The lockstep serve path and the streaming front-end
+    # (:class:`repro.api.session.ServingSession`) share these four calls:
+    # open K fed replicas, submit requests one at a time (the cluster
+    # co-simulates to each arrival and routes on live state), then close
+    # the feeds and drain.  ``serve()`` composed of them is byte-identical
+    # to the historical lockstep body.
+
+    def open(self, max_active: Optional[int] = None) -> List[Replica]:
+        """Create all K replicas in push mode (open :class:`ReplicaFeed`)."""
+        if any(rep is not None for rep in self.replicas):
+            raise RuntimeError("cluster already opened")
+        k = self.cluster_config.n_replicas
+        replicas = [self._new_replica(i) for i in range(k)]
+        for rep in replicas:
+            rep.start(ReplicaFeed(max_active=max_active))
+        return replicas
+
+    def _live(self) -> List[Replica]:
+        live = [rep for rep in self.replicas if rep is not None]
+        if not live:
+            raise RuntimeError("cluster not opened")
+        return live
+
+    def submit(self, req: Request) -> int:
+        """Advance to ``req.arrival``, route on live state, enqueue.
+
+        Returns the chosen replica index.  Requests must be submitted in
+        arrival order (the feeds enforce it).
+        """
+        replicas = self._live()
+        # Advance every kernel to the arrival instant so queue depths
+        # and radix trees reflect the true state at t.
+        for rep in replicas:
+            rep.advance_to(req.arrival)
+        if self.cluster_config.migration:
+            self.router.rebalance(replicas)
+        target = self.router.route(req, replicas)
+        replicas[target].admit(req)
+        return target
+
+    def advance_to(self, t: float) -> None:
+        """Run every replica's simulation up to absolute time ``t``."""
+        for rep in self._live():
+            rep.advance_to(t)
+
+    def close_and_drain(self) -> None:
+        """Close every feed and run all replicas to completion."""
+        for rep in self._live():
+            rep.drain()
+
+    def report(self) -> ClusterReport:
+        """Aggregate the (drained) replicas into a :class:`ClusterReport`."""
+        return self._build_report()
+
     # -- lockstep path: co-simulate, route on live state --------------------
 
     def _serve_lockstep(
         self, workload: Workload, requests: List[Request]
     ) -> None:
-        k = self.cluster_config.n_replicas
-        replicas = [self._new_replica(i) for i in range(k)]
-        for rep in replicas:
-            rep.start(ReplicaFeed(max_active=workload.max_active))
+        self.open(max_active=workload.max_active)
         for req in requests:
-            # Advance every kernel to the arrival instant so queue
-            # depths and radix trees reflect the true state at t.
-            for rep in replicas:
-                rep.advance_to(req.arrival)
-            if self.cluster_config.migration:
-                self.router.rebalance(replicas)
-            target = self.router.route(req, replicas)
-            replicas[target].admit(req)
-        for rep in replicas:
-            rep.drain()
+            self.submit(req)
+        self.close_and_drain()
 
     # -- aggregation ---------------------------------------------------------
 

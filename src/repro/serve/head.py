@@ -54,7 +54,7 @@ from repro.cache.prefix import PrefixCacheManager, PrefixMatch
 from repro.core.multibuffer import SEQ_END, CellBudget, acquire_canonical
 from repro.core.run_state import RequestContext, RunKind
 from repro.engines.backend import apply_cache_op
-from repro.metrics.collectors import MetricsCollector
+from repro.metrics.collectors import MetricsCollector, RunStats
 from repro.metrics.report import RequestReport
 from repro.serve.scheduler import (
     RequestScheduler,
@@ -80,6 +80,10 @@ def _report_for(ctx: RequestContext) -> RequestReport:
         stats=m.stats,
         prompt_tokens=ctx.n_prompt,
         cached_tokens=ctx.cached_tokens,
+        priority=ctx.priority,
+        ttft_slo=ctx.ttft_slo,
+        itl_slo=ctx.itl_slo,
+        cancelled=ctx.cancelled,
     )
 
 
@@ -119,7 +123,12 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
     reports: List[RequestReport] = []
 
     cache = (
-        PrefixCacheManager(pool, cfg.prefix_cache_cells, cfg.min_match_tokens)
+        PrefixCacheManager(
+            pool,
+            cfg.prefix_cache_cells,
+            cfg.min_match_tokens,
+            promote_on_second_hit=cfg.prefix_promote_on_second_hit,
+        )
         if cfg.prefix_cache
         else None
     )
@@ -205,7 +214,7 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
         # (one seq_broadcast per node shared by several admissions).
         admitted: List = []
         while scheduler.ready(kernel.now) and scheduler.may_admit(len(active)):
-            req = scheduler.peek_next()
+            req = scheduler.peek_ready(kernel.now)
             match = cache.match(req.job.prompt) if cache else PrefixMatch()
             if match:
                 # Pin the matched path before any eviction this admission
@@ -233,6 +242,11 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
             ctx.admitted_at = kernel.now
             ctx.cached_tokens = match.length
             ctx.metrics.stats.cached_prompt_tokens += match.length
+            ctx.priority = req.priority
+            ctx.ttft_slo = req.ttft_slo
+            ctx.itl_slo = req.itl_slo
+            if engine.stream_hub is not None:
+                ctx.stream = engine.stream_hub.attach(ctx)
             budget.admit(req.req_id, demand)
             active[ctx.req_id] = ctx
             rotation.append(ctx.req_id)
@@ -253,6 +267,9 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
         """Token budget met: stop sampling, flush in-flight speculation."""
         ctx.done = True
         ctx.metrics.mark_finish(kernel.now)
+        if ctx.stream is not None:
+            # No-op when the stream was already cancel-closed.
+            ctx.stream.finish(kernel.now)
         for rec in ctx.fifo.mark_all_cancelled():
             cancel_run(engine, ctx, rec, invalid=False, cancels=cancels)
 
@@ -264,12 +281,18 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
         retained tree sequence, ordered before the canonical partition's
         release in the same transaction batch, so the cells outlive the
         request and the next matching prompt skips their prefill.
+
+        A cancelled request donates its whole *verified* stream instead
+        (minus the newest accepted token, whose cell is not resident —
+        see ``ops_for_acceptance``): a retried conversation re-submitting
+        prompt + partial output skips all of its prefill.
         """
         ops = []
         if cache is not None:
-            ops += cache.ops_for_donate(
-                ctx.job.prompt, ctx.kv.canonical, kernel.now
-            )
+            donated = ctx.job.prompt
+            if ctx.cancelled and len(ctx.accepted) - 1 > len(donated):
+                donated = ctx.accepted[:-1]
+            ops += cache.ops_for_donate(donated, ctx.kv.canonical, kernel.now)
             cache.release(ctx.req_id)
             budget.retained = cache.retained_cells
         ops += ctx.kv.ops_for_request_release()
@@ -282,6 +305,61 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
         rotation.remove(ctx.req_id)
         reports.append(_report_for(ctx))
         scheduler.on_completed(ctx.req_id, kernel.now)
+
+    def process_cancels() -> None:
+        """Drain the engine's disconnect inbox (mid-flight cancellation).
+
+        Active requests flip to ``done`` draining mode: every in-flight
+        speculative run gets a cancel signal, sampling stops, and the
+        request finalizes (KV release + verified-prefix donation) once
+        its FIFO empties — exactly the completion path, so cancellation
+        can never strand a partition or park the head.  Queued requests
+        are removed before admission and reported with zero tokens.
+        Unknown ids are ignored (cluster front-ends broadcast cancels to
+        every replica without tracking placement).
+        """
+        if not engine._cancel_requests:
+            return
+        rids, engine._cancel_requests = engine._cancel_requests, []
+        cancels: List = []
+        for rid in rids:
+            ctx = active.get(rid)
+            if ctx is not None:
+                if ctx.done:
+                    continue
+                ctx.cancelled = True
+                if ctx.stream is not None:
+                    ctx.stream.cancel(kernel.now)
+                mark_done(ctx, cancels)
+                if not ctx.fifo:
+                    finalize(ctx)
+                continue
+            req = scheduler.cancel_queued(rid)
+            if req is None:
+                continue
+            if engine.stream_hub is not None:
+                stream = engine.stream_hub.get(rid)
+                if stream is not None:
+                    stream.cancel(kernel.now)
+            reports.append(
+                RequestReport(
+                    req_id=rid,
+                    tokens=[],
+                    arrival=req.arrival,
+                    admitted_at=kernel.now,
+                    prefill_end=kernel.now,
+                    finish_time=kernel.now,
+                    itl_samples=[],
+                    stats=RunStats(),
+                    prompt_tokens=len(req.job.prompt),
+                    priority=req.priority,
+                    ttft_slo=req.ttft_slo,
+                    itl_slo=req.itl_slo,
+                    cancelled=True,
+                )
+            )
+        if cancels:
+            send_cancels(engine, cancels)
 
     def recover_from_restart() -> None:
         """Rebuild pipeline state after a worker crash/restart.
@@ -377,7 +455,7 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
             if not proposed[ctx.req_id]:
                 # Draft confidence halted this request's speculation.
                 ctx.cutoff.on_failed_idle()
-        if progressed or ep.iprobe(last_target, Tag.LOGITS):
+        if progressed or ep.iprobe(last_target, Tag.LOGITS) or engine._cancel_requests:
             # Re-enter the loop when the round dispatched — or when
             # logits landed *while the draft round computed*: their
             # delivery notified the arrival watchers before idle() could
@@ -423,6 +501,7 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
             if engine._fault_events:
                 engine._fault_events.clear()
                 recover_from_restart()
+            process_cancels()
             admit_ready()
 
             # ---- priority 1: sample/verify waiting logits -----------------
@@ -457,7 +536,12 @@ def pipeinfer_serving_head(engine, scheduler: RequestScheduler) -> Generator:
                                 f"got {payload.run_id}"
                             )
                         ctx.metrics.stats.completed += 1
-                        process_prefill_logits(engine, ctx, payload)
+                        if not ctx.done:
+                            # A cancelled (or otherwise done) request's
+                            # prefill still drains through the pipeline —
+                            # its cells are written and released with the
+                            # partition — but nothing is sampled.
+                            process_prefill_logits(engine, ctx, payload)
                     else:
                         cum += verify_run_logits(
                             engine, ctx, payload, pending_ops,
@@ -627,6 +711,9 @@ def sequential_serving_head(engine, scheduler: RequestScheduler) -> Generator:
                 itl_samples=per.itl_samples(),
                 stats=per.stats,
                 prompt_tokens=len(req.job.prompt),
+                priority=req.priority,
+                ttft_slo=req.ttft_slo,
+                itl_slo=req.itl_slo,
             )
         )
         scheduler.on_completed(req.req_id, finish)

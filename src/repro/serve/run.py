@@ -72,6 +72,9 @@ def make_workload(
     arrivals: Sequence[float] = (),
     max_active: Optional[int] = None,
     sessions: Sequence[Optional[int]] = (),
+    priorities: Sequence[int] = (),
+    ttft_slos: Sequence[Optional[float]] = (),
+    itl_slos: Sequence[Optional[float]] = (),
 ) -> Workload:
     """Convenience constructor accepting plain sequences."""
     return Workload(
@@ -79,4 +82,7 @@ def make_workload(
         arrivals=tuple(arrivals),
         max_active=max_active,
         sessions=tuple(sessions),
+        priorities=tuple(priorities),
+        ttft_slos=tuple(ttft_slos),
+        itl_slos=tuple(itl_slos),
     )

@@ -11,6 +11,14 @@ in-flight runs have drained.
 Scheduling is deliberately deterministic — FCFS by (arrival, submission
 index) — so served outputs are reproducible token-for-token against
 single-job runs of the same prompts.
+
+Requests may carry a ``priority`` and deadline tags (``ttft_slo``,
+``itl_slo``).  Priorities reorder *admission only*: among the requests
+that have arrived (the contiguous ready prefix of the queue), the highest
+priority wins, ties broken by queue position — so untagged traffic
+(all priority 0) admits in exactly the historical FCFS order.  SLO tags
+never change scheduling here; they feed the goodput metric and the
+cluster router's deadline-aware spill.
 """
 
 from __future__ import annotations
@@ -28,12 +36,20 @@ class Request:
     ``session`` tags requests that belong to one multi-turn conversation
     (all of a session's turns share it); the cluster router uses it for
     session-affinity routing.  Single-shot traffic leaves it None.
+
+    ``priority`` biases admission (higher first among arrived requests);
+    ``ttft_slo`` / ``itl_slo`` are deadline tags — seconds to first token
+    and seconds between tokens — consumed by the goodput metric and the
+    cluster router's deadline-aware spill.  None means no SLO.
     """
 
     req_id: int
     job: GenerationJob
     arrival: float
     session: Optional[int] = None
+    priority: int = 0
+    ttft_slo: Optional[float] = None
+    itl_slo: Optional[float] = None
 
 
 def worst_case_cell_demand(job: GenerationJob, config) -> int:
@@ -128,12 +144,21 @@ class Workload:
             the same id; see
             :meth:`repro.workloads.prompts.MultiTurnTemplate.sessions`).
             Empty means untagged — single-shot traffic.
+        priorities: optional per-job admission priorities aligned with
+            ``jobs`` (empty = all zero).
+        ttft_slos: optional per-job time-to-first-token deadlines aligned
+            with ``jobs`` (empty = no SLO; None entries allowed).
+        itl_slos: optional per-job inter-token-latency deadlines aligned
+            with ``jobs`` (empty = no SLO; None entries allowed).
     """
 
     jobs: Tuple[GenerationJob, ...]
     arrivals: Tuple[float, ...] = ()
     max_active: Optional[int] = None
     sessions: Tuple[Optional[int], ...] = ()
+    priorities: Tuple[int, ...] = ()
+    ttft_slos: Tuple[Optional[float], ...] = ()
+    itl_slos: Tuple[Optional[float], ...] = ()
 
     def __post_init__(self) -> None:
         if not self.jobs:
@@ -147,33 +172,60 @@ class Workload:
             raise ValueError("arrival times must be non-negative")
         if self.max_active is not None and self.max_active < 1:
             raise ValueError(f"max_active must be positive, got {self.max_active}")
-        if self.sessions and len(self.sessions) != len(self.jobs):
-            raise ValueError(
-                f"session tag length {len(self.sessions)} does not match "
-                f"{len(self.jobs)} jobs"
-            )
+        for name in ("sessions", "priorities", "ttft_slos", "itl_slos"):
+            tags = getattr(self, name)
+            if tags and len(tags) != len(self.jobs):
+                raise ValueError(
+                    f"{name} length {len(tags)} does not match "
+                    f"{len(self.jobs)} jobs"
+                )
+        for name in ("ttft_slos", "itl_slos"):
+            if any(s is not None and s <= 0 for s in getattr(self, name)):
+                raise ValueError(f"{name} entries must be positive or None")
 
     def requests(self) -> List[Request]:
         """The jobs as FCFS-ordered :class:`Request` records."""
-        arrivals = self.arrivals or (0.0,) * len(self.jobs)
-        sessions = self.sessions or (None,) * len(self.jobs)
+        n = len(self.jobs)
+        arrivals = self.arrivals or (0.0,) * n
+        sessions = self.sessions or (None,) * n
+        priorities = self.priorities or (0,) * n
+        ttft_slos = self.ttft_slos or (None,) * n
+        itl_slos = self.itl_slos or (None,) * n
         reqs = [
-            Request(req_id=i, job=job, arrival=arrivals[i], session=sessions[i])
+            Request(
+                req_id=i,
+                job=job,
+                arrival=arrivals[i],
+                session=sessions[i],
+                priority=priorities[i],
+                ttft_slo=ttft_slos[i],
+                itl_slo=itl_slos[i],
+            )
             for i, job in enumerate(self.jobs)
         ]
         return sorted(reqs, key=lambda r: (r.arrival, r.req_id))
 
 
 class RequestScheduler:
-    """FCFS admission queue driven by the serving head."""
+    """FCFS admission queue (priority-aware) driven by the serving head.
+
+    Admission readiness keeps the historical *contiguous prefix* rule:
+    only requests up to the first not-yet-arrived queue entry are
+    candidates (so a migrated request parked behind a later arrival waits
+    its queue turn, exactly as before).  Among those candidates the
+    highest ``priority`` wins, ties broken by queue position — with all
+    priorities zero this degenerates to popping the head, byte-identical
+    to the historical FCFS scheduler.
+    """
 
     def __init__(self, workload: Workload) -> None:
         self.workload: Optional[Workload] = workload
         self._queue: List[Request] = workload.requests()
-        self._next = 0
+        self._pending: List[Request] = list(self._queue)
         self._max_active = workload.max_active
         self.n_admitted = 0
         self.n_completed = 0
+        self.n_cancelled = 0
         #: req_id -> completion timestamp.
         self.completed_at: Dict[int, float] = {}
 
@@ -193,10 +245,11 @@ class RequestScheduler:
         self = cls.__new__(cls)
         self.workload = None
         self._queue = sorted(requests, key=lambda r: (r.arrival, r.req_id))
-        self._next = 0
+        self._pending = list(self._queue)
         self._max_active = max_active
         self.n_admitted = 0
         self.n_completed = 0
+        self.n_cancelled = 0
         self.completed_at = {}
         return self
 
@@ -209,8 +262,8 @@ class RequestScheduler:
         return len(self._queue)
 
     def has_pending(self) -> bool:
-        """Requests not yet admitted remain."""
-        return self._next < len(self._queue)
+        """Requests not yet admitted (nor cancelled while queued) remain."""
+        return bool(self._pending)
 
     def stream_open(self) -> bool:
         """Whether more requests may still be fed in.
@@ -223,23 +276,44 @@ class RequestScheduler:
         return False
 
     def all_done(self) -> bool:
-        return self.n_completed == len(self._queue)
+        return self.n_completed + self.n_cancelled == len(self._queue)
 
     def peek_next(self) -> Optional[Request]:
-        """The next request in FCFS order, or None when all admitted."""
-        if self._next >= len(self._queue):
-            return None
-        return self._queue[self._next]
+        """The queue head (earliest position), or None when all admitted.
+
+        This is the *arrival-order* head — the right probe for "when does
+        the next request arrive" — not necessarily the admission winner;
+        see :meth:`peek_ready` for that.
+        """
+        return self._pending[0] if self._pending else None
 
     def next_arrival(self) -> Optional[float]:
         """Arrival time of the next unadmitted request."""
         nxt = self.peek_next()
         return None if nxt is None else nxt.arrival
 
+    def _ready_index(self, now: float) -> Optional[int]:
+        """Index into the pending queue of the admission winner.
+
+        Scans the contiguous arrived prefix; the winner is the highest
+        priority, ties broken by queue position.
+        """
+        best: Optional[int] = None
+        for i, req in enumerate(self._pending):
+            if req.arrival > now:
+                break
+            if best is None or req.priority > self._pending[best].priority:
+                best = i
+        return best
+
     def ready(self, now: float) -> bool:
-        """True when the FCFS head has arrived by ``now``."""
-        nxt = self.peek_next()
-        return nxt is not None and nxt.arrival <= now
+        """True when some request in the arrived prefix awaits admission."""
+        return self._ready_index(now) is not None
+
+    def peek_ready(self, now: float) -> Optional[Request]:
+        """The request :meth:`pop_ready` would admit at ``now``, unpopped."""
+        idx = self._ready_index(now)
+        return None if idx is None else self._pending[idx]
 
     def may_admit(self, n_active: int) -> bool:
         """Does the concurrency cap allow another admission?"""
@@ -247,13 +321,26 @@ class RequestScheduler:
         return cap is None or n_active < cap
 
     def pop_ready(self, now: float) -> Optional[Request]:
-        """Admit (dequeue) the FCFS head if it has arrived."""
-        if not self.ready(now):
+        """Admit (dequeue) the winning arrived request, if any."""
+        idx = self._ready_index(now)
+        if idx is None:
             return None
-        req = self._queue[self._next]
-        self._next += 1
+        req = self._pending.pop(idx)
         self.n_admitted += 1
         return req
+
+    def cancel_queued(self, req_id: int) -> Optional[Request]:
+        """Remove a not-yet-admitted request (client disconnected).
+
+        Returns the removed request, or None when ``req_id`` is not
+        queued here (already admitted, completed, or routed elsewhere).
+        """
+        for i, req in enumerate(self._pending):
+            if req.req_id == req_id:
+                self._pending.pop(i)
+                self.n_cancelled += 1
+                return req
+        return None
 
     def on_completed(self, req_id: int, t: float) -> None:
         if req_id in self.completed_at:
@@ -282,10 +369,11 @@ class ReplicaFeed(RequestScheduler):
 
     def __init__(self, max_active: Optional[int] = None) -> None:
         self._queue: List[Request] = []
-        self._next = 0
+        self._pending: List[Request] = []
         self._max_active = max_active
         self.n_admitted = 0
         self.n_completed = 0
+        self.n_cancelled = 0
         self.completed_at: Dict[int, float] = {}
         self.closed = False
         self.n_pushed = 0
@@ -307,13 +395,14 @@ class ReplicaFeed(RequestScheduler):
 
     @property
     def depth(self) -> int:
-        """Requests in the system: routed here and not yet completed."""
-        return len(self._queue) - self.n_completed
+        """Requests in the system: routed here, neither completed nor
+        cancelled-while-queued."""
+        return len(self._queue) - self.n_completed - self.n_cancelled
 
     @property
     def n_waiting(self) -> int:
         """Requests routed here but not yet admitted into the pipeline."""
-        return len(self._queue) - self._next
+        return len(self._pending)
 
     def push(self, req: Request, migrated: bool = False) -> None:
         """Append one routed request; must arrive in global FCFS order.
@@ -330,13 +419,15 @@ class ReplicaFeed(RequestScheduler):
                 f"{self._queue[-1].arrival}"
             )
         self._queue.append(req)
+        self._pending.append(req)
         self.n_pushed += 1
 
     def steal_tail(self) -> Optional[Request]:
         """Take back the most recently pushed, not-yet-admitted request."""
-        if len(self._queue) <= self._next:
+        if not self._pending or self._pending[-1] is not self._queue[-1]:
             return None
-        req = self._queue.pop()
+        req = self._pending.pop()
+        self._queue.pop()
         self.n_pushed -= 1
         return req
 

@@ -3,6 +3,7 @@
 from repro.workloads.arrivals import (
     bursty_arrivals,
     closed_loop_arrivals,
+    diurnal_arrivals,
     multiturn_arrivals,
     poisson_arrivals,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "make_prompt",
     "poisson_arrivals",
     "bursty_arrivals",
+    "diurnal_arrivals",
     "closed_loop_arrivals",
     "multiturn_arrivals",
     "WAN_LINK",

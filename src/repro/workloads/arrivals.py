@@ -85,6 +85,60 @@ def bursty_arrivals(
     return tuple(sorted(times))
 
 
+def diurnal_arrivals(
+    rate_mean: float,
+    n: int,
+    period: float,
+    amplitude: float = 0.8,
+    seed: int = 0,
+) -> Tuple[float, ...]:
+    """Diurnal traffic: Poisson arrivals with sinusoidal rate modulation.
+
+    The instantaneous rate is ``rate_mean * (1 + amplitude * sin(2*pi*t /
+    period))`` — a day/night cycle compressed to ``period`` seconds.
+    Implemented by Lewis-Shedler thinning of a homogeneous Poisson
+    process at the peak rate: candidate gaps are drawn at
+    ``rate_mean * (1 + amplitude)`` and each candidate is accepted with
+    probability ``rate(t) / rate_max``.  Both draw streams are
+    hash-derived (separate salts), so the trace is a pure function of the
+    arguments.
+
+    Args:
+        rate_mean: cycle-average request rate (requests per second).
+        n: number of arrivals.
+        period: seconds per modulation cycle.
+        amplitude: modulation depth in [0, 1); 0 degenerates to a plain
+            Poisson trace at ``rate_mean``.
+        seed: trace seed.
+
+    Returns:
+        ``n`` non-decreasing arrival timestamps starting after t=0.
+    """
+    if rate_mean <= 0:
+        raise ValueError(f"rate_mean must be positive, got {rate_mean}")
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    if not 0 <= amplitude < 1:
+        raise ValueError(f"amplitude must be in [0, 1), got {amplitude}")
+    rate_max = rate_mean * (1.0 + amplitude)
+    times = []
+    t = 0.0
+    i = 0
+    while len(times) < n:
+        u = unit_float(hash_tokens(seed, (i,), salt=_ARRIVAL_SALT + 2))
+        t += -math.log(max(1.0 - u, 1e-12)) / rate_max
+        a = unit_float(hash_tokens(seed, (i,), salt=_ARRIVAL_SALT + 3))
+        i += 1
+        rate_t = rate_mean * (
+            1.0 + amplitude * math.sin(2.0 * math.pi * t / period)
+        )
+        if a * rate_max <= rate_t:
+            times.append(t)
+    return tuple(times)
+
+
 def closed_loop_arrivals(n: int) -> Tuple[float, ...]:
     """Closed-loop trace: every request queued at t=0.
 

@@ -1,0 +1,230 @@
+"""Mid-flight cancellation: KV hygiene, corner cases, fault overlap.
+
+The acceptance bar for the cancellation plane:
+
+- a cancel at any phase (queued, mid-prefill, mid-draft-round) closes
+  the stream, frees the request's canonical KV, and never wedges the
+  simulation — every run here ends in a clean drain, which raises
+  :class:`StuckSimulationError` with diagnostics if any process hangs;
+- a cancel storm returns every worker KV shard to its empty baseline
+  (live-cell count zero after drain, prefix cache off);
+- cancelling a prefix-cache-pinned request releases its pins so the
+  tree's reference counts stay balanced;
+- cancellation under an active fault plan composes with recovery
+  (retransmits, stragglers) instead of deadlocking against it;
+- surviving requests stream exactly their solo-run tokens.
+"""
+
+import pytest
+
+from repro import (
+    ClusterConfig,
+    EngineConfig,
+    FaultPlan,
+    GenerationJob,
+    OracleBackend,
+    PipeInferEngine,
+    StragglerSpec,
+    cluster_c,
+    get_pair,
+    run_engine,
+)
+from repro.api import ServingSession
+from repro.serve import EngineCluster
+from repro.workloads import make_prompt
+
+N_GENERATE = 16
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return get_pair("dolphin+tinyllama")
+
+
+def _job(pair, i=0, n_generate=N_GENERATE):
+    return GenerationJob(
+        prompt=make_prompt("wikitext", length=24 + 4 * i,
+                           vocab=pair.target_arch.vocab),
+        n_generate=n_generate,
+    )
+
+
+def _session(pair, config=None, max_active=None, fault_plans=None):
+    clusters = [cluster_c(4)]
+    backends = [OracleBackend(pair, head_node=clusters[0].nodes[0])]
+    cluster = EngineCluster(
+        PipeInferEngine,
+        backends,
+        clusters,
+        cluster_config=ClusterConfig(n_replicas=1),
+        config=config,
+        fault_plans=fault_plans,
+    )
+    return ServingSession(cluster, max_active=max_active)
+
+
+def _live_cells(sess):
+    return max(
+        rep.engine.worker_cells_used() for rep in sess.cluster.replicas
+    )
+
+
+class TestCancelPhases:
+    def test_cancel_mid_prefill(self, pair):
+        sess = _session(pair)
+        stream = sess.submit(_job(pair))
+        # One step admits the request at t=0; its prefill compute is
+        # still in flight when the disconnect lands.
+        sess.step()
+        assert stream.n_tokens == 0
+        sess.cancel(stream)
+        report = sess.report()  # clean drain or StuckSimulationError
+        assert stream.cancelled and not stream.finished
+        assert stream.tokens == []
+        rec = report.merged.requests[0]
+        assert rec.cancelled and rec.n_tokens == 0
+        assert report.merged.n_cancelled == 1
+        assert _live_cells(sess) == 0
+
+    def test_cancel_mid_draft_round(self, pair):
+        sess = _session(pair)
+        stream = sess.submit(_job(pair))
+        while stream.n_tokens < 2:
+            assert sess.advance_until(stream)
+        at_cancel = stream.n_tokens
+        sess.cancel(stream)
+        report = sess.report()
+        assert stream.cancelled
+        # The stream froze at (or within one already-accepted batch of)
+        # the disconnect instant, well short of the budget.
+        assert at_cancel <= stream.n_tokens < N_GENERATE
+        rec = report.merged.requests[0]
+        assert rec.cancelled and rec.tokens == stream.tokens
+        assert _live_cells(sess) == 0
+
+    def test_cancel_queued_request(self, pair):
+        sess = _session(pair, max_active=1)
+        first = sess.submit(_job(pair, 0))
+        queued = sess.submit(_job(pair, 1))
+        sess.step()  # admit the first; the second waits on max_active=1
+        sess.cancel(queued)
+        report = sess.report()
+        assert queued.cancelled and queued.tokens == []
+        assert first.finished and len(first.tokens) == N_GENERATE
+        by_id = {r.req_id: r for r in report.merged.requests}
+        assert by_id[1].cancelled and by_id[1].n_tokens == 0
+        assert not by_id[0].cancelled
+
+    def test_cancel_is_idempotent_and_ignores_unknown(self, pair):
+        sess = _session(pair)
+        stream = sess.submit(_job(pair))
+        sess.cancel(stream)
+        sess.cancel(stream)  # second disconnect: no-op
+        sess.cancel(999)  # unknown id: ignored cluster-wide
+        report = sess.report()
+        assert report.merged.n_cancelled == 1
+
+    def test_cancel_after_finish_is_noop(self, pair):
+        sess = _session(pair)
+        stream = sess.submit(_job(pair))
+        assert sess.advance_until(lambda: stream.finished)
+        sess.cancel(stream)
+        report = sess.report()
+        assert stream.finished and not stream.cancelled
+        assert report.merged.n_cancelled == 0
+
+
+class TestCancelStormKVBaseline:
+    def test_storm_returns_pool_to_baseline(self, pair):
+        # Prefix cache off: after a full drain no retained sequences may
+        # remain, so every canonical partition a cancel released shows up
+        # as live cells going back to zero.
+        sess = _session(pair, config=EngineConfig(prefix_cache=False))
+        streams = [
+            sess.submit(_job(pair, i), arrival=0.3 * i) for i in range(6)
+        ]
+        # Let traffic build, then disconnect every client at different
+        # phases: some mid-prefill, some mid-decode, some still queued.
+        sess.advance_until(1.0)
+        for stream in streams[::2]:
+            sess.cancel(stream)
+        sess.advance_until(2.0)
+        for stream in streams[1::2]:
+            sess.cancel(stream)
+        report = sess.report()
+        assert report.merged.n_cancelled == 6
+        assert all(s.cancelled for s in streams)
+        assert _live_cells(sess) == 0
+
+    def test_survivors_unaffected_by_neighbor_cancels(self, pair):
+        sess = _session(pair)
+        victim = sess.submit(_job(pair, 0))
+        survivor = sess.submit(_job(pair, 1))
+        while victim.n_tokens < 1:
+            assert sess.advance_until(victim)
+        sess.cancel(victim)
+        sess.report()
+        assert survivor.finished
+        solo_cluster = cluster_c(4)
+        solo = run_engine(
+            PipeInferEngine,
+            OracleBackend(pair, head_node=solo_cluster.nodes[0]),
+            solo_cluster,
+            _job(pair, 1),
+        )
+        assert survivor.tokens == solo.tokens
+
+
+class TestCancelWithPrefixCache:
+    def test_cancel_releases_prefix_pins(self, pair):
+        sess = _session(pair, config=EngineConfig(prefix_cache=True))
+        job = _job(pair, 0)
+        warm = sess.submit(job)
+        assert sess.advance_until(lambda: warm.finished)
+        # The stream closes at acceptance time; the finalize event that
+        # donates the prompt into the tree runs just after it.
+        sess.advance_until(sess.now() + 5.0)
+        # Same prompt again: admission pins the donated prefix; the
+        # disconnect must release the pin on the way out.
+        again = sess.submit(GenerationJob(prompt=job.prompt, n_generate=12))
+        while again.n_tokens < 1:
+            assert sess.advance_until(again)
+        sess.cancel(again)
+        report = sess.report()
+        assert again.cancelled
+        cache = sess.cluster.replicas[0].engine.prefix_cache
+        assert cache is not None
+        assert cache._active == {}, "cancelled request left a pinned match"
+        assert report.merged.prefix_cache_stats["requests_hit"] >= 1
+
+    def test_cancelled_verified_prefix_is_donated(self, pair):
+        # A mid-decode cancel donates the verified prefix (prompt +
+        # accepted tokens) so a follow-up with the same head hits.
+        sess = _session(pair, config=EngineConfig(prefix_cache=True))
+        stream = sess.submit(_job(pair, 0))
+        while stream.n_tokens < 4:
+            assert sess.advance_until(stream)
+        sess.cancel(stream)
+        report = sess.report()
+        stats = report.merged.prefix_cache_stats
+        assert stats["donated_tokens"] > len(_job(pair, 0).prompt)
+
+
+class TestCancelUnderFaults:
+    def test_cancel_composes_with_straggler_recovery(self, pair):
+        plan = FaultPlan(
+            stragglers=(StragglerSpec(rank=1, factor=4.0, start=0.0, end=30.0),)
+        )
+        sess = _session(pair, fault_plans=[plan])
+        victim = sess.submit(_job(pair, 0))
+        survivor = sess.submit(_job(pair, 1))
+        while victim.n_tokens < 1:
+            assert sess.advance_until(victim)
+        sess.cancel(victim)
+        # A wedged process would abort the drain with
+        # StuckSimulationError diagnostics; a clean report is the proof.
+        report = sess.report()
+        assert victim.cancelled
+        assert survivor.finished and len(survivor.tokens) == N_GENERATE
+        assert report.merged.n_cancelled == 1
+        assert _live_cells(sess) == 0

@@ -5,6 +5,7 @@ import pytest
 from repro.workloads.arrivals import (
     bursty_arrivals,
     closed_loop_arrivals,
+    diurnal_arrivals,
     poisson_arrivals,
 )
 
@@ -106,3 +107,45 @@ class TestMultiTurn:
             multiturn_arrivals(2, n_turns=2, turn_gap=-1.0)
         with pytest.raises(ValueError):
             multiturn_arrivals(2, n_turns=2, turn_gap=1.0, session_rate=0.0)
+
+
+class TestDiurnal:
+    def test_deterministic(self):
+        a = diurnal_arrivals(2.0, 32, period=60.0, seed=4)
+        b = diurnal_arrivals(2.0, 32, period=60.0, seed=4)
+        assert a == b
+
+    def test_seed_changes_trace(self):
+        assert diurnal_arrivals(2.0, 32, period=60.0, seed=4) != diurnal_arrivals(
+            2.0, 32, period=60.0, seed=5
+        )
+
+    def test_monotone_count_positive(self):
+        t = diurnal_arrivals(3.0, 100, period=30.0, seed=1)
+        assert len(t) == 100
+        assert t[0] > 0.0
+        assert all(a <= b for a, b in zip(t, t[1:]))
+
+    def test_zero_amplitude_mean_matches_poisson(self):
+        rate = 4.0
+        t = diurnal_arrivals(rate, 4000, period=100.0, amplitude=0.0, seed=2)
+        assert t[-1] / len(t) == pytest.approx(1.0 / rate, rel=0.1)
+
+    def test_peak_half_cycle_is_denser(self):
+        # rate ~ 1 + A*sin(2*pi*t/P): the first half of each cycle runs
+        # above the mean rate, the second half below it.
+        period = 50.0
+        t = diurnal_arrivals(2.0, 3000, period=period, amplitude=0.9, seed=3)
+        peak = sum(1 for x in t if (x % period) < period / 2)
+        trough = len(t) - peak
+        assert peak > 1.5 * trough
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            diurnal_arrivals(0.0, 4, period=10.0)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(1.0, -1, period=10.0)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(1.0, 4, period=0.0)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(1.0, 4, period=10.0, amplitude=1.0)

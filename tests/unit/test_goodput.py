@@ -1,0 +1,107 @@
+"""Goodput accounting: per-token SLO judgments and aggregate floors."""
+
+import pytest
+
+from repro.metrics.collectors import RunStats
+from repro.metrics.report import RequestReport, ServingReport
+
+
+def req(
+    tokens=4,
+    ttft=1.0,
+    itl_samples=(0.5, 0.5, 0.5),
+    ttft_slo=None,
+    itl_slo=None,
+    req_id=0,
+    cancelled=False,
+):
+    return RequestReport(
+        req_id=req_id,
+        tokens=list(range(tokens)),
+        arrival=0.0,
+        admitted_at=0.0,
+        prefill_end=ttft,
+        finish_time=ttft + sum(itl_samples) + 1.0,
+        itl_samples=list(itl_samples),
+        stats=RunStats(),
+        prompt_tokens=8,
+        ttft_slo=ttft_slo,
+        itl_slo=itl_slo,
+        cancelled=cancelled,
+    )
+
+
+class TestGoodTokens:
+    def test_no_slo_every_token_good(self):
+        r = req()
+        assert r.good_tokens == 4
+        assert r.slo_attainment == 1.0
+
+    def test_zero_tokens(self):
+        r = req(tokens=0, itl_samples=())
+        assert r.good_tokens == 0
+        assert r.slo_attainment == 0.0
+
+    def test_ttft_slo_judges_first_token(self):
+        assert req(ttft=1.0, ttft_slo=2.0).good_tokens == 4
+        assert req(ttft=1.0, ttft_slo=1.0).good_tokens == 4  # boundary
+        assert req(ttft=3.0, ttft_slo=2.0).good_tokens == 3
+
+    def test_itl_slo_judges_gaps(self):
+        r = req(itl_samples=(0.1, 9.0, 0.1), itl_slo=1.0)
+        assert r.good_tokens == 3  # first token + two fast gaps
+        assert r.slo_attainment == pytest.approx(0.75)
+
+    def test_missing_gap_gets_benefit_of_doubt(self):
+        # n tokens can carry n-2 gaps (the prefill->verify hop is not a
+        # recorded gap); the unsampled token passes deterministically.
+        r = req(tokens=4, itl_samples=(0.1, 0.1), itl_slo=1.0)
+        assert r.good_tokens == 4
+
+    def test_both_slos_compose(self):
+        r = req(ttft=5.0, ttft_slo=1.0, itl_samples=(2.0, 2.0, 2.0),
+                itl_slo=1.0)
+        assert r.good_tokens == 0
+        assert r.slo_attainment == 0.0
+
+
+class TestServingAggregate:
+    def _report(self, reqs):
+        return ServingReport.from_requests("test", 4, reqs)
+
+    def test_no_slo_goodput_equals_throughput(self):
+        rep = self._report([req(req_id=0), req(req_id=1)])
+        assert rep.slo_attainment == 1.0
+        assert rep.goodput == pytest.approx(rep.throughput)
+        assert rep.slo_attainment_p50 == 1.0
+        assert rep.slo_attainment_p99 == 1.0
+
+    def test_mixed_attainment_floors(self):
+        good = req(req_id=0)
+        bad = req(req_id=1, ttft=9.0, ttft_slo=1.0,
+                  itl_samples=(5.0, 5.0, 5.0), itl_slo=1.0)
+        rep = self._report([good, bad])
+        assert rep.slo_attainment == pytest.approx(0.5)
+        assert rep.goodput == pytest.approx(rep.throughput * 0.5)
+        # Floors are the lower tail: half the requests attain 0.0, so
+        # the p99 floor sits at the worst request (the percentile
+        # interpolates between the two samples).
+        assert rep.slo_attainment_p99 == pytest.approx(0.0, abs=0.05)
+        # The median floor interpolates between the two attainments.
+        assert rep.slo_attainment_p50 == pytest.approx(0.5)
+        assert rep.slo_attainment_p99 <= rep.slo_attainment_p50
+
+    def test_cancelled_zero_token_requests_dont_skew_latency(self):
+        served = req(req_id=0)
+        dropped = req(req_id=1, tokens=0, itl_samples=(), cancelled=True)
+        rep = self._report([served, dropped])
+        assert rep.n_cancelled == 1
+        # Latency percentiles describe served traffic only.
+        assert rep.ttft_p50 == pytest.approx(served.ttft)
+        # Attainment floors skip zero-token requests too.
+        assert rep.slo_attainment_p99 == 1.0
+
+    def test_attainment_floor_never_negative_zero(self):
+        rep = self._report([req(req_id=0, ttft=9.0, ttft_slo=1.0,
+                                itl_samples=(9.0, 9.0, 9.0), itl_slo=1.0)])
+        assert str(rep.slo_attainment_p50) == "0.0"

@@ -187,3 +187,35 @@ def test_determinism_across_identical_runs():
         return trace
 
     assert build() == build()
+
+
+class TestNextEventTime:
+    """``next_event_time`` feeds the streaming session's lockstep step."""
+
+    @pytest.fixture(params=["calendar", "reference"])
+    def any_kernel(self, request):
+        from repro.cluster.kernel import ReferenceSimKernel
+
+        return SimKernel() if request.param == "calendar" else ReferenceSimKernel()
+
+    def test_empty_kernel_has_none(self, any_kernel):
+        assert any_kernel.next_event_time() is None
+
+    def test_future_event_time(self, any_kernel):
+        any_kernel.call_at(3.5, lambda: None)
+        any_kernel.call_at(7.0, lambda: None)
+        assert any_kernel.next_event_time() == 3.5
+        any_kernel.run(until=3.5)
+        assert any_kernel.next_event_time() == 7.0
+        any_kernel.run()
+        assert any_kernel.next_event_time() is None
+
+    def test_at_now_fifo_reports_now(self):
+        # An at-now callback sits in the FIFO, not the calendar, and must
+        # still surface as "there is work at the current instant".
+        k = SimKernel()
+        k.call_at(0.0, lambda: None)
+        k.call_at(9.0, lambda: None)
+        assert k.next_event_time() == 0.0
+        k.run(until=0.0)
+        assert k.next_event_time() == 9.0

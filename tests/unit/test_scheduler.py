@@ -82,3 +82,57 @@ class TestWorstCaseCellDemand:
         cfg = EngineConfig(lookahead_cap=16, microbatch_size=4)
         job = GenerationJob(prompt=tuple(range(1, 9)), n_generate=24)
         assert worst_case_cell_demand(job, cfg) == 8 + 24 + 16 + 4
+
+
+class TestPriorityAdmission:
+    def _sched(self, arrivals, priorities):
+        return RequestScheduler(
+            Workload(
+                jobs=make_jobs(len(arrivals)),
+                arrivals=arrivals,
+                priorities=priorities,
+            )
+        )
+
+    def test_highest_priority_pops_first(self):
+        sched = self._sched((0.0, 0.0, 0.0), (0, 3, 1))
+        assert sched.pop_ready(0.0).req_id == 1
+        assert sched.pop_ready(0.0).req_id == 2
+        assert sched.pop_ready(0.0).req_id == 0
+
+    def test_ties_keep_fcfs_order(self):
+        sched = self._sched((0.0, 0.0, 0.0), (2, 2, 2))
+        assert [sched.pop_ready(0.0).req_id for _ in range(3)] == [0, 1, 2]
+
+    def test_unarrived_priority_cannot_jump(self):
+        # The priority-9 request lands at t=5; before then the low
+        # priorities are served, after then it preempts the queue.
+        sched = self._sched((0.0, 0.0, 5.0), (0, 1, 9))
+        assert sched.pop_ready(0.0).req_id == 1
+        assert sched.pop_ready(6.0).req_id == 2
+        assert sched.pop_ready(6.0).req_id == 0
+
+    def test_peek_matches_pop(self):
+        sched = self._sched((0.0, 0.0), (1, 4))
+        peeked = sched.peek_ready(0.0)
+        assert peeked is sched.pop_ready(0.0)
+        assert peeked.req_id == 1
+
+
+class TestCancelQueued:
+    def test_cancel_removes_and_counts_toward_done(self):
+        sched = RequestScheduler(Workload(jobs=make_jobs(2)))
+        gone = sched.cancel_queued(1)
+        assert gone is not None and gone.req_id == 1
+        assert sched.pop_ready(0.0).req_id == 0
+        assert sched.pop_ready(0.0) is None
+        assert not sched.all_done()
+        sched.on_completed(0, 1.0)
+        assert sched.all_done()
+
+    def test_cancel_unknown_or_admitted_returns_none(self):
+        sched = RequestScheduler(Workload(jobs=make_jobs(1)))
+        assert sched.cancel_queued(7) is None
+        sched.pop_ready(0.0)
+        # Already admitted: no longer queued, the head owns it now.
+        assert sched.cancel_queued(0) is None

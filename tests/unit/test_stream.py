@@ -1,0 +1,104 @@
+"""TokenStream / StreamHub mechanics: budgets, closure, versioning."""
+
+import pytest
+
+from repro.api import StreamHub, TokenStream
+
+
+class TestTokenStream:
+    def test_push_records_events_and_tokens(self):
+        s = TokenStream(0)
+        s.push(1.0, (7,))
+        s.push(2.0, (8, 9))
+        assert s.tokens == [7, 8, 9]
+        assert s.events == [(1.0, (7,)), (2.0, (8, 9))]
+        assert len(s) == 3
+        assert list(s) == [7, 8, 9]
+
+    def test_budget_clips_overshoot(self):
+        s = TokenStream(0, budget=3)
+        s.push(1.0, (1, 2))
+        s.push(2.0, (3, 4, 5))  # batch overshoots by two
+        s.push(3.0, (6,))  # fully past budget: dropped
+        assert s.tokens == [1, 2, 3]
+        assert s.events[-1] == (2.0, (3,))
+        assert len(s.events) == 2
+
+    def test_bind_budget_only_once(self):
+        s = TokenStream(0)
+        s.bind_budget(2)
+        s.bind_budget(10)  # later bind must not widen
+        s.push(1.0, (1, 2, 3))
+        assert s.tokens == [1, 2]
+
+    def test_finish_and_cancel_are_exclusive_and_idempotent(self):
+        s = TokenStream(0)
+        s.push(1.0, (1,))
+        s.finish(2.0)
+        s.cancel(3.0)  # already closed: ignored
+        s.finish(4.0)
+        assert s.finished and not s.cancelled
+        assert s.closed_at == 2.0
+
+    def test_close_never_precedes_last_delivery(self):
+        s = TokenStream(0)
+        # A verify batch stamps tokens past the head-loop instant that
+        # closes the stream.
+        s.push(5.0, (1,))
+        s.finish(4.0)
+        assert s.closed_at == 5.0
+
+    def test_take_cursor(self):
+        s = TokenStream(0)
+        s.push(1.0, (1, 2))
+        assert s.take(0) == [1, 2]
+        assert s.take(2) == []
+        s.push(2.0, (3,))
+        assert s.take(2) == [3]
+
+    def test_empty_push_is_silent(self):
+        s = TokenStream(0)
+        seen = []
+        s.on_event = seen.append
+        s.push(1.0, ())
+        assert s.events == [] and seen == []
+
+
+class TestStreamHub:
+    def test_open_rejects_duplicates(self):
+        hub = StreamHub()
+        hub.open(0)
+        with pytest.raises(ValueError):
+            hub.open(0)
+
+    def test_version_bumps_on_every_event(self):
+        hub = StreamHub()
+        s = hub.open(0)
+        v0 = hub.version
+        s.push(1.0, (1,))
+        assert hub.version == v0 + 1
+        s.finish(2.0)
+        assert hub.version == v0 + 2
+        s.finish(3.0)  # idempotent close: no bump
+        assert hub.version == v0 + 2
+
+    def test_attach_creates_on_demand_and_binds_budget(self):
+        class Ctx:
+            req_id = 3
+
+            class job:
+                n_generate = 2
+
+        hub = StreamHub()
+        s = hub.attach(Ctx())
+        assert hub.get(3) is s
+        s.push(1.0, (1, 2, 3))
+        assert s.tokens == [1, 2]
+        # A pre-opened stream is reused, not replaced.
+        assert hub.attach(Ctx()) is s
+
+    def test_outputs_mirror(self):
+        hub = StreamHub()
+        hub.open(0).push(1.0, (1, 2))
+        hub.open(1)
+        assert hub.outputs() == {0: [1, 2], 1: []}
